@@ -1,0 +1,119 @@
+// Ablation: incremental vs batch evaluation cost as responses stream
+// in (the incremental mode of the paper's conclusion). After every
+// batch of responses the current worker's assessment is refreshed;
+// the batch path rebuilds the O(m^2 n) overlap statistics each time,
+// the incremental path maintains them in O(m) per response and
+// re-evaluates only dirty workers.
+
+#include <cstdio>
+
+#include "core/incremental.h"
+#include "core/m_worker.h"
+#include "experiments/runner.h"
+#include "figure_common.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+#include "util/stopwatch.h"
+
+namespace crowd {
+namespace {
+
+void Run(int reps) {
+  const size_t m = 15;
+  const size_t n = 600;
+  const size_t kBatch = 50;
+
+  double incremental_seconds = 0.0;
+  double batch_seconds = 0.0;
+  size_t refreshes = 0;
+  bool results_agree = true;
+
+  experiments::RepeatTrials(reps, 0xADD, [&](int, Random* rng) {
+    sim::BinarySimConfig config;
+    config.num_workers = m;
+    config.num_tasks = n;
+    config.assignment = sim::AssignmentConfig::Iid(0.7);
+    auto sim = sim::SimulateBinary(config, rng);
+
+    // Stream the responses in task order.
+    struct Event {
+      data::WorkerId w;
+      data::TaskId t;
+      data::Response r;
+    };
+    std::vector<Event> stream;
+    for (data::TaskId t = 0; t < n; ++t) {
+      for (data::WorkerId w = 0; w < m; ++w) {
+        auto r = sim.dataset.responses().Get(w, t);
+        if (r.has_value()) stream.push_back({w, t, *r});
+      }
+    }
+
+    core::BinaryOptions options;
+    core::IncrementalEvaluator incremental(m, n, options);
+    data::ResponseMatrix replay(m, n, 2);
+
+    for (size_t start = 0; start < stream.size(); start += kBatch) {
+      size_t end = std::min(start + kBatch, stream.size());
+      Stopwatch inc_watch;
+      for (size_t e = start; e < end; ++e) {
+        incremental.AddResponse(stream[e].w, stream[e].t, stream[e].r)
+            .AbortIfNotOk();
+      }
+      auto inc_result = incremental.EvaluateAll();
+      incremental_seconds += inc_watch.ElapsedSeconds();
+
+      Stopwatch batch_watch;
+      for (size_t e = start; e < end; ++e) {
+        replay.Set(stream[e].w, stream[e].t, stream[e].r).AbortIfNotOk();
+      }
+      auto batch_result = core::MWorkerEvaluate(replay, options);
+      batch_seconds += batch_watch.ElapsedSeconds();
+      ++refreshes;
+
+      // Cross-check: both paths see identical data and must agree.
+      if (batch_result.ok() &&
+          batch_result->assessments.size() ==
+              inc_result.assessments.size()) {
+        for (size_t i = 0; i < inc_result.assessments.size(); ++i) {
+          const auto& a = inc_result.assessments[i];
+          const auto& b = batch_result->assessments[i];
+          if (a.worker != b.worker ||
+              std::fabs(a.error_rate - b.error_rate) > 1e-12 ||
+              std::fabs(a.deviation - b.deviation) > 1e-12) {
+            results_agree = false;
+          }
+        }
+      } else {
+        results_agree =
+            results_agree && batch_result.ok() ==
+                                 !inc_result.assessments.empty();
+      }
+    }
+  });
+
+  std::printf("== ablation_incremental: streaming refresh cost ==\n");
+  std::printf("(m=%zu, n=%zu, batch=%zu responses, %zu refreshes)\n\n",
+              m, n, kBatch, refreshes);
+  std::printf("incremental path: %.3f s total (%.3f ms per refresh)\n",
+              incremental_seconds,
+              1e3 * incremental_seconds / static_cast<double>(refreshes));
+  std::printf("batch path:       %.3f s total (%.3f ms per refresh)\n",
+              batch_seconds,
+              1e3 * batch_seconds / static_cast<double>(refreshes));
+  std::printf("speedup:          %.2fx\n",
+              batch_seconds / incremental_seconds);
+  std::printf("assessments identical across paths: %s\n",
+              results_agree ? "yes" : "NO (BUG)");
+}
+
+}  // namespace
+}  // namespace crowd
+
+int main(int argc, char** argv) {
+  int reps = crowd::experiments::ResolveReps(3, argc, argv);
+  crowd::bench::Banner("Ablation", "incremental vs batch evaluation",
+                       reps);
+  crowd::Run(reps);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 2(b): mean interval size vs data density at confidence 0.8,
+// for (n, m) in {(300, 3), (100, 7), (300, 7)} — the paper omits
+// (100, 3) because its sizes blow up at low density.
+//
+// Expected shape: size decreases with density, roughly as 1/d (the
+// number of co-attempted tasks behind every agreement rate grows as
+// d^2, and the deviation as its inverse square root times sqrt(n)...
+// see Section III-D2 for the paper's 1/d argument).
+
+#include "core/m_worker.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "figure_common.h"
+#include "sim/simulator.h"
+#include "util/string_util.h"
+
+namespace crowd {
+namespace {
+
+void Run(int reps) {
+  experiments::Figure figure;
+  figure.name = "fig2b";
+  figure.title = "Interval size vs density (c = 0.8)";
+  figure.x_label = "density";
+  figure.y_label = "mean interval size";
+
+  const struct {
+    size_t m;
+    size_t n;
+  } configs[] = {{3, 300}, {7, 100}, {7, 300}};
+
+  for (const auto& cfg : configs) {
+    std::string label = StrFormat("m%zu_n%zu", cfg.m, cfg.n);
+    for (double density : experiments::DensityGrid()) {
+      bench::SweepAccumulator acc;
+      experiments::RepeatTrials(
+          reps, 0xF162B00 + cfg.m * 1000 + cfg.n,
+          [&](int, Random* rng) {
+            sim::BinarySimConfig config;
+            config.num_workers = cfg.m;
+            config.num_tasks = cfg.n;
+            config.assignment = sim::AssignmentConfig::Iid(density);
+            auto sim = sim::SimulateBinary(config, rng);
+            core::BinaryOptions options;
+            auto result =
+                core::MWorkerEvaluate(sim.dataset.responses(), options);
+            if (!result.ok()) return;
+            for (const auto& a : result->assessments) {
+              acc.Add(a.error_rate, a.deviation,
+                      sim.true_error_rates[a.worker]);
+            }
+          });
+      figure.AddPoint(label, density, acc.MeanSizeAt(0.8));
+    }
+  }
+  experiments::EmitFigure(figure);
+}
+
+}  // namespace
+}  // namespace crowd
+
+int main(int argc, char** argv) {
+  int reps = crowd::experiments::ResolveReps(100, argc, argv);
+  crowd::bench::Banner("Figure 2(b)", "interval size vs density", reps);
+  crowd::Run(reps);
+  return 0;
+}

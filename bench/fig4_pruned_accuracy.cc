@@ -1,0 +1,19 @@
+// Figure 4: interval accuracy vs confidence on the real-data
+// analogues *after* removing workers whose majority-vote proxy error
+// exceeds 0.4 (Section III-E2's spammer pruning).
+//
+// Expected shape: the high-confidence sag of Figure 3 disappears; the
+// curves track y = x much more closely.
+
+#include "real_accuracy_common.h"
+
+int main(int argc, char** argv) {
+  int reps = crowd::experiments::ResolveReps(10, argc, argv);
+  crowd::bench::Banner(
+      "Figure 4", "real-data interval accuracy with spammer pruning",
+      reps);
+  crowd::bench::RunRealAccuracy(
+      "fig4", "Accuracy on real-data analogues (spammers pruned)",
+      /*prefilter=*/true, reps);
+  return 0;
+}

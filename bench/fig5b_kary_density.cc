@@ -1,0 +1,73 @@
+// Figure 5(b): mean k-ary interval size vs density at confidence 0.8,
+// n = 500 tasks, arity k in {2, 3, 4}, each of the three workers
+// attempting each task with probability d.
+//
+// Expected shape: size grows as density falls, and grows sharply with
+// arity (the number of estimated parameters is ~k^2 while the data per
+// parameter shrinks).
+
+#include "core/kary_estimator.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "figure_common.h"
+#include "sim/simulator.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace crowd {
+namespace {
+
+void Run(int reps) {
+  experiments::Figure figure;
+  figure.name = "fig5b";
+  figure.title = "k-ary interval size vs density (n=500, c=0.8)";
+  figure.x_label = "density";
+  figure.y_label = "mean interval size";
+
+  for (int arity : {2, 3, 4}) {
+    std::string label = StrFormat("arity%d", arity);
+    for (double density : experiments::DensityGrid()) {
+      stats::RunningStat sizes;
+      experiments::RepeatTrials(
+          reps, 0xF165B + arity, [&](int, Random* rng) {
+            sim::KarySimConfig config;
+            config.arity = arity;
+            config.num_tasks = 500;
+            config.assignment = sim::AssignmentConfig::Iid(density);
+            auto sim = sim::SimulateKary(config, rng);
+            sim.status().AbortIfNotOk();
+            core::KaryOptions options;
+            options.confidence = 0.8;
+            auto result = core::KaryEvaluate(sim->dataset.responses(), 0,
+                                             1, 2, options);
+            if (!result.ok()) return;
+            for (int w = 0; w < 3; ++w) {
+              for (int r = 0; r < arity; ++r) {
+                for (int c = 0; c < arity; ++c) {
+                  // Clip to the estimand's [0, 1] domain, as with the
+                  // binary figures: the informative part of a response-
+                  // probability interval cannot exceed the unit box.
+                  sizes.Add(result->workers[w]
+                                .intervals[r][c]
+                                .ClampTo(0.0, 1.0)
+                                .size());
+                }
+              }
+            }
+          });
+      figure.AddPoint(label, density, sizes.mean());
+    }
+  }
+  experiments::EmitFigure(figure);
+}
+
+}  // namespace
+}  // namespace crowd
+
+int main(int argc, char** argv) {
+  int reps = crowd::experiments::ResolveReps(40, argc, argv);
+  crowd::bench::Banner("Figure 5(b)", "k-ary interval size vs density",
+                       reps);
+  crowd::Run(reps);
+  return 0;
+}

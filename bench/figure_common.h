@@ -1,0 +1,85 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// All of the paper's intervals have the Theorem-1 form
+// center +- z(c) * deviation, so one estimator run yields the interval
+// size and the coverage indicator for *every* confidence level c —
+// the sweeps below exploit that instead of re-running the estimator
+// per level.
+
+#ifndef CROWDEVAL_BENCH_FIGURE_COMMON_H_
+#define CROWDEVAL_BENCH_FIGURE_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace crowd::bench {
+
+/// One Theorem-1-shaped interval observation against its truth.
+struct Observation {
+  double center = 0.0;
+  double deviation = 0.0;
+  double truth = 0.0;
+};
+
+/// \brief Accumulates observations and answers, for any confidence
+/// level, the interval-accuracy and mean interval size.
+class SweepAccumulator {
+ public:
+  void Add(const Observation& obs) { observations_.push_back(obs); }
+  void Add(double center, double deviation, double truth) {
+    observations_.push_back({center, deviation, truth});
+  }
+
+  size_t size() const { return observations_.size(); }
+
+  /// Fraction of intervals center +- z(c) dev containing the truth.
+  double AccuracyAt(double confidence) const {
+    if (observations_.empty()) return 0.0;
+    double z = *stats::TwoSidedZ(confidence);
+    size_t covered = 0;
+    for (const auto& o : observations_) {
+      if (std::fabs(o.truth - o.center) <= z * o.deviation) ++covered;
+    }
+    return static_cast<double>(covered) /
+           static_cast<double>(observations_.size());
+  }
+
+  /// Mean size of the intervals center +- z(c) dev, clipped to the
+  /// estimand's admissible domain [0, 1/2] (an error rate under the
+  /// paper's non-malicious-worker assumption): an interval reaching
+  /// past the domain carries no extra information, and without the
+  /// clip a single near-singular draw would dominate the mean.
+  double MeanSizeAt(double confidence) const {
+    if (observations_.empty()) return 0.0;
+    double z = *stats::TwoSidedZ(confidence);
+    double sum = 0.0;
+    for (const auto& o : observations_) {
+      double lo = std::max(0.0, o.center - z * o.deviation);
+      double hi = std::min(0.5, o.center + z * o.deviation);
+      sum += std::max(0.0, hi - lo);
+    }
+    return sum / static_cast<double>(observations_.size());
+  }
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+/// \brief Prints the standard bench banner.
+inline void Banner(const char* fig, const char* description, int reps) {
+  std::printf("# %s — %s\n# reps=%d (override with --reps=N or "
+              "CROWDEVAL_REPS)\n\n",
+              fig, description, reps);
+}
+
+}  // namespace crowd::bench
+
+#endif  // CROWDEVAL_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) validating the complexity claims
+// of the paper: the 3-worker method is O(n); the m-worker method is
+// O(m^2 n + m^4); the k-ary method is O(k^6 + n k^3) per triple
+// (dominated in practice by the (k+1)^3-cell numerical Jacobian, each
+// cell costing two spectral estimates).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/dawid_skene.h"
+#include "baselines/old_technique.h"
+#include "core/kary_estimator.h"
+#include "core/m_worker.h"
+#include "core/three_worker.h"
+#include "data/overlap_index.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd {
+namespace {
+
+sim::BinarySimOutput MakeBinary(size_t m, size_t n, double density) {
+  Random rng(42 + m * 131 + n);
+  sim::BinarySimConfig config;
+  config.num_workers = m;
+  config.num_tasks = n;
+  if (density < 1.0) {
+    config.assignment = sim::AssignmentConfig::Iid(density);
+  }
+  return sim::SimulateBinary(config, &rng);
+}
+
+void BM_ThreeWorker(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto sim = MakeBinary(3, n, 1.0);
+  core::BinaryOptions options;
+  for (auto _ : state) {
+    auto result = core::ThreeWorkerEvaluate(sim.dataset.responses(),
+                                            options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_ThreeWorker)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_MWorker(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto sim = MakeBinary(m, 300, 0.8);
+  core::BinaryOptions options;
+  for (auto _ : state) {
+    auto result = core::MWorkerEvaluate(sim.dataset.responses(), options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(BM_MWorker)->DenseRange(5, 45, 10)->Complexity();
+
+void BM_OverlapIndexBuild(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto sim = MakeBinary(m, 500, 0.5);
+  for (auto _ : state) {
+    data::OverlapIndex overlap(sim.dataset.responses());
+    benchmark::DoNotOptimize(overlap.CommonCount(0, 1));
+  }
+}
+BENCHMARK(BM_OverlapIndexBuild)->DenseRange(10, 90, 20);
+
+// A diagonally-dominant random pool for arities beyond the paper's
+// 2-4 range.
+std::vector<linalg::Matrix> PoolForArity(int arity, Random* rng) {
+  if (arity <= 4) return {};  // SimulateKary falls back to the paper pool.
+  std::vector<linalg::Matrix> pool;
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(sim::RandomResponseMatrix(arity, 0.6, 0.9, rng));
+  }
+  return pool;
+}
+
+void BM_KaryEvaluate(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Random rng(7 + arity);
+  sim::KarySimConfig config;
+  config.arity = arity;
+  config.num_tasks = 500;
+  config.matrix_pool = PoolForArity(arity, &rng);
+  auto sim = sim::SimulateKary(config, &rng);
+  sim.status().AbortIfNotOk();
+  core::KaryOptions options;
+  for (auto _ : state) {
+    auto result =
+        core::KaryEvaluate(sim->dataset.responses(), 0, 1, 2, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KaryEvaluate)->DenseRange(2, 5, 1);
+
+void BM_KaryPointEstimateOnly(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Random rng(7 + arity);
+  sim::KarySimConfig config;
+  config.arity = arity;
+  config.num_tasks = 500;
+  config.matrix_pool = PoolForArity(arity, &rng);
+  auto sim = sim::SimulateKary(config, &rng);
+  sim.status().AbortIfNotOk();
+  auto counts = core::CountsTensor::FromResponses(
+      sim->dataset.responses(), 0, 1, 2);
+  counts.status().AbortIfNotOk();
+  for (auto _ : state) {
+    auto result = core::ProbEstimate(*counts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KaryPointEstimateOnly)->DenseRange(2, 6, 1);
+
+void BM_OldTechnique(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto sim = MakeBinary(m, 100, 1.0);
+  baselines::OldTechniqueOptions options;
+  for (auto _ : state) {
+    auto result =
+        baselines::OldMWorkerEvaluate(sim.dataset.responses(), options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OldTechnique)->Arg(3)->Arg(7)->Arg(15);
+
+void BM_DawidSkene(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto sim = MakeBinary(m, 300, 0.8);
+  for (auto _ : state) {
+    auto model = baselines::FitDawidSkene(sim.dataset.responses());
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_DawidSkene)->Arg(7)->Arg(21);
+
+}  // namespace
+}  // namespace crowd
+
+BENCHMARK_MAIN();

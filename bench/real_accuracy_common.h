@@ -1,0 +1,71 @@
+// Shared driver for Figures 3 and 4: interval accuracy on the
+// synthetic analogues of the paper's binary real datasets (IC, RTE,
+// TEM), with or without the spammer pre-filter. The "true" error rate
+// of a worker is the gold-standard proxy, exactly as in the paper.
+//
+// Unlike the paper (which has one fixed dataset each), the analogues
+// can be regenerated per seed, so the reported accuracy is averaged
+// over `reps` dataset draws.
+
+#ifndef CROWDEVAL_BENCH_REAL_ACCURACY_COMMON_H_
+#define CROWDEVAL_BENCH_REAL_ACCURACY_COMMON_H_
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "data/dataset.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "figure_common.h"
+#include "sim/paper_datasets.h"
+#include "sim/simulator.h"
+
+namespace crowd::bench {
+
+inline void RunRealAccuracy(const std::string& figure_name,
+                            const std::string& title, bool prefilter,
+                            int reps) {
+  experiments::Figure figure;
+  figure.name = figure_name;
+  figure.title = title;
+  figure.x_label = "confidence";
+  figure.y_label = "interval-accuracy";
+
+  for (const std::string& name : {std::string("IC"), std::string("RTE"),
+                                  std::string("TEM")}) {
+    SweepAccumulator acc;
+    experiments::RepeatTrials(
+        reps, 0xF1634 + (prefilter ? 100 : 0), [&](int trial, Random* rng) {
+          auto dataset = sim::MakePaperDataset(
+              name, 1000 + static_cast<uint64_t>(trial));
+          dataset.status().AbortIfNotOk();
+          // The paper de-regularizes IC by removing 20% of responses.
+          if (name == "IC") {
+            *dataset->mutable_responses() =
+                sim::RemoveResponses(dataset->responses(), 0.2, rng);
+          }
+
+          core::CrowdEvaluator::Config config;
+          config.prefilter_spammers = prefilter;
+          core::CrowdEvaluator evaluator(config);
+          auto report = evaluator.EvaluateBinary(dataset->responses());
+          if (!report.ok()) return;
+          for (const auto& a : report->assessments) {
+            auto proxy = dataset->ProxyErrorRate(a.worker);
+            if (!proxy.ok()) continue;
+            acc.Add(a.error_rate, a.deviation, *proxy);
+          }
+        });
+    for (double c : experiments::ConfidenceGrid()) {
+      figure.AddPoint(name, c, acc.AccuracyAt(c));
+    }
+  }
+  for (double c : experiments::ConfidenceGrid()) {
+    figure.AddPoint("ideal", c, c);
+  }
+  experiments::EmitFigure(figure);
+}
+
+}  // namespace crowd::bench
+
+#endif  // CROWDEVAL_BENCH_REAL_ACCURACY_COMMON_H_

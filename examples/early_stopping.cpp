@@ -1,0 +1,139 @@
+// Interval-driven early stopping: confidence intervals are actionable
+// *during* data collection, not just after it. A requester screening a
+// worker pool against a quality bar can stop collecting for a worker
+// the moment that worker's interval falls entirely on one side of the
+// bar — workers far from the bar resolve after a handful of tasks,
+// and only borderline workers consume real budget.
+//
+// This example compares that policy against the fixed-budget protocol
+// a point-estimate-only pipeline is forced into (without a reliability
+// measure, it must collect the full worst-case budget for everyone),
+// counting both responses spent and classification mistakes.
+//
+// The incremental evaluator keeps statistics current as responses
+// stream in, so each stopping decision costs O(m) bookkeeping.
+//
+//   $ ./build/examples/early_stopping
+
+#include <cstdio>
+#include <vector>
+
+#include "core/incremental.h"
+#include "rng/random.h"
+
+namespace {
+
+constexpr size_t kPoolSize = 10;
+constexpr size_t kMaxTasks = 360;   // Worst-case tasks per worker.
+constexpr size_t kTasksPerRound = 6;
+constexpr double kBar = 0.25;       // Quality threshold.
+constexpr double kConfidence = 0.95;
+
+struct Outcome {
+  size_t responses = 0;
+  int wrong_calls = 0;
+  int undecided = 0;
+};
+
+// Streams rounds of shared tasks. With early stopping, workers whose
+// interval clears the bar stop answering; without, everyone answers
+// the full budget and is classified at the end by point estimate.
+Outcome Run(const std::vector<double>& true_rates, uint64_t seed,
+            bool early_stopping) {
+  using namespace crowd;
+  Random rng(seed);
+  core::BinaryOptions options;
+  options.confidence = kConfidence;
+  core::IncrementalEvaluator evaluator(kPoolSize, kMaxTasks, options);
+
+  std::vector<int> decision(kPoolSize, -1);  // -1 undecided, 0 good, 1 bad.
+  Outcome out;
+
+  for (size_t start = 0; start < kMaxTasks; start += kTasksPerRound) {
+    for (size_t offset = 0; offset < kTasksPerRound; ++offset) {
+      size_t t = start + offset;
+      int truth = 0;  // WLOG under the symmetric error model.
+      for (data::WorkerId w = 0; w < kPoolSize; ++w) {
+        if (early_stopping && decision[w] != -1) continue;
+        int response =
+            rng.Bernoulli(true_rates[w]) ? 1 - truth : truth;
+        evaluator.AddResponse(w, t, response).AbortIfNotOk();
+        ++out.responses;
+      }
+    }
+    if (!early_stopping) continue;
+    bool all_decided = true;
+    for (data::WorkerId w = 0; w < kPoolSize; ++w) {
+      if (decision[w] != -1) continue;
+      auto assessment = evaluator.Evaluate(w);
+      if (assessment.ok()) {
+        if (assessment->interval.lo > kBar) {
+          decision[w] = 1;
+        } else if (assessment->interval.hi < kBar) {
+          decision[w] = 0;
+        }
+      }
+      if (decision[w] == -1) all_decided = false;
+    }
+    if (all_decided) break;
+  }
+
+  // Whatever is still undecided gets classified by point estimate
+  // (the only option a point pipeline ever has).
+  for (data::WorkerId w = 0; w < kPoolSize; ++w) {
+    if (decision[w] == -1) {
+      auto assessment = evaluator.Evaluate(w);
+      if (assessment.ok()) {
+        decision[w] = assessment->error_rate > kBar ? 1 : 0;
+        if (early_stopping) ++out.undecided;
+      }
+    }
+    bool actually_bad = true_rates[w] > kBar;
+    if (decision[w] != -1 && decision[w] != (actually_bad ? 1 : 0)) {
+      ++out.wrong_calls;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  crowd::Random seeder(321);
+  Outcome stopped_total, fixed_total;
+  const int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> rates;
+    for (size_t w = 0; w < kPoolSize; ++w) {
+      rates.push_back(seeder.Bernoulli(0.3)
+                          ? seeder.Uniform(0.3, 0.45)
+                          : seeder.Uniform(0.05, 0.2));
+    }
+    auto stopped = Run(rates, 1000 + trial, /*early_stopping=*/true);
+    auto fixed = Run(rates, 1000 + trial, /*early_stopping=*/false);
+    stopped_total.responses += stopped.responses;
+    stopped_total.wrong_calls += stopped.wrong_calls;
+    stopped_total.undecided += stopped.undecided;
+    fixed_total.responses += fixed.responses;
+    fixed_total.wrong_calls += fixed.wrong_calls;
+  }
+
+  std::printf("screening a %zu-worker pool against a %.0f%% error bar "
+              "(%d pools, worst-case budget %zu tasks/worker):\n\n",
+              kPoolSize, kBar * 100, kTrials, kMaxTasks);
+  std::printf("  interval-driven early stopping: %5zu responses/pool, "
+              "%d wrong calls, %d still undecided at budget\n",
+              stopped_total.responses / kTrials,
+              stopped_total.wrong_calls, stopped_total.undecided);
+  std::printf("  fixed budget (point pipeline):  %5zu responses/pool, "
+              "%d wrong calls\n",
+              fixed_total.responses / kTrials, fixed_total.wrong_calls);
+  std::printf("\nintervals tell the requester *when to stop paying* for "
+              "evidence on each worker;\npoint estimates cannot. The "
+              "residual wrong calls concentrate on workers whose\ntrue "
+              "rate sits at the bar, where repeated interval peeking "
+              "inflates the per-look\nerror (the classical sequential-"
+              "testing caveat; the paper's predecessor [2]\ndevelops "
+              "properly sequential procedures).\n");
+  return 0;
+}

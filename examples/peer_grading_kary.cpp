@@ -1,0 +1,97 @@
+// Peer grading with k-ary tasks: the MOOC scenario of Section IV-C.
+// Three graders grade the same window of submissions on a 3-point
+// scale; the k-ary estimator recovers each grader's full response-
+// probability matrix — including their bias (e.g. a tendency to grade
+// one point low) — with a confidence interval per entry, and estimates
+// the grade distribution (selectivity) without any instructor grades.
+//
+//   $ ./build/examples/peer_grading_kary
+
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "data/overlap_index.h"
+#include "sim/paper_datasets.h"
+
+namespace {
+
+void PrintWorkerMatrix(const crowd::core::KaryWorkerEstimate& est,
+                       const crowd::data::Dataset& dataset,
+                       size_t worker) {
+  const int k = static_cast<int>(est.p.rows());
+  std::printf("grader %zu (rows: true grade; cols: given grade)\n",
+              worker);
+  auto proxy = dataset.ProxyResponseMatrix(worker);
+  for (int r = 0; r < k; ++r) {
+    std::printf("  true=%d: ", r);
+    for (int c = 0; c < k; ++c) {
+      std::printf(" %.2f %-16s", est.p(r, c),
+                  est.intervals[r][c]
+                      .ClampTo(0.0, 1.0)
+                      .ToString()
+                      .c_str());
+    }
+    if (proxy.ok() && proxy->row_counts[r] > 0) {
+      std::printf("  | gold proxy:");
+      for (int c = 0; c < k; ++c) {
+        std::printf(" %.2f", proxy->probabilities[r][c]);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace crowd;
+
+  // The MOOC analogue: 60 graders x 300 submissions, 3-ary grades,
+  // graders attempt overlapping 150-task windows.
+  data::Dataset dataset = sim::SyntheticMooc(2015);
+  std::printf("%s\n\n", dataset.Summary().c_str());
+
+  // Pick a grader triple with plenty of common submissions, as the
+  // paper's protocol requires (t = 60 for MOOC).
+  data::OverlapIndex overlap(dataset.responses());
+  size_t w1 = 0, w2 = 1, w3 = 2;
+  size_t best = 0;
+  for (size_t a = 0; a < 20; ++a) {
+    for (size_t b = a + 1; b < 20; ++b) {
+      for (size_t c = b + 1; c < 20; ++c) {
+        size_t common = overlap.TripleCommonCount(a, b, c);
+        if (common > best) {
+          best = common;
+          w1 = a;
+          w2 = b;
+          w3 = c;
+        }
+      }
+    }
+  }
+  std::printf("evaluating graders (%zu, %zu, %zu), %zu common "
+              "submissions\n\n",
+              w1, w2, w3, best);
+
+  core::CrowdEvaluator::Config config;
+  config.kary.confidence = 0.9;
+  core::CrowdEvaluator evaluator(config);
+  auto result = evaluator.EvaluateKaryTriple(dataset.responses(), w1, w2,
+                                             w3);
+  if (!result.ok()) {
+    std::printf("evaluation failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t workers[3] = {w1, w2, w3};
+  for (int i = 0; i < 3; ++i) {
+    PrintWorkerMatrix(result->workers[i], dataset, workers[i]);
+    std::printf("\n");
+  }
+
+  std::printf("estimated grade distribution:");
+  for (double s : result->selectivity) std::printf(" %.2f", s);
+  std::printf("   (planted: 0.25 0.45 0.30)\n");
+  return 0;
+}

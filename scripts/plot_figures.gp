@@ -1,0 +1,37 @@
+# Renders the paper-figure reproductions from the .dat files the bench
+# binaries emit. Run the benches first, then:
+#
+#   gnuplot -c scripts/plot_figures.gp <dir-with-dat-files>
+#
+# Produces <fig>.png next to each <fig>.dat.
+
+if (ARGC < 1) dir = "." ; else dir = ARG1
+
+set terminal pngcairo size 900,600 font "sans,11"
+set grid
+set key left top
+
+do_plot(name, xlab, ylab) = sprintf("\
+  datafile = '%s/%s.dat'; \
+  set output '%s/%s.png'; \
+  set xlabel '%s'; set ylabel '%s'; \
+  stats datafile skip 2 nooutput; \
+  plot for [col=2:STATS_columns] datafile using 1:col with linespoints \
+       title columnheader(col)", dir, name, dir, name, xlab, ylab)
+
+# Accuracy panels (include the ideal y = x series emitted by the bench).
+eval do_plot("fig2a", "confidence level", "interval-accuracy")
+eval do_plot("fig3",  "confidence level", "interval-accuracy")
+eval do_plot("fig4",  "confidence level", "interval-accuracy")
+eval do_plot("fig5a", "confidence level", "interval-accuracy")
+eval do_plot("fig5c", "confidence level", "interval-accuracy")
+
+# Size panels.
+eval do_plot("fig1",  "confidence level", "mean interval size")
+eval do_plot("fig2b", "density",          "mean interval size")
+eval do_plot("fig2c", "confidence level", "mean interval size")
+eval do_plot("fig5b", "density",          "mean interval size")
+
+# Ablations.
+eval do_plot("ablation_triples",     "confidence level", "mean interval size")
+eval do_plot("ablation_kary_refine", "tasks",            "mean max-abs error")

@@ -1,0 +1,130 @@
+#include "baselines/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowd::baselines {
+
+double DawidSkeneModel::WorkerErrorRate(data::WorkerId w) const {
+  CROWD_CHECK_LT(w, confusion.size());
+  double error = 0.0;
+  for (size_t z = 0; z < priors.size(); ++z) {
+    error += priors[z] * (1.0 - confusion[w](z, z));
+  }
+  return error;
+}
+
+Result<DawidSkeneModel> FitDawidSkene(
+    const data::ResponseMatrix& responses,
+    const DawidSkeneOptions& options) {
+  const size_t m = responses.num_workers();
+  const size_t n = responses.num_tasks();
+  const int k = responses.arity();
+  if (m == 0 || n == 0) {
+    return Status::InsufficientData("Dawid-Skene: empty response matrix");
+  }
+  for (data::TaskId t = 0; t < n; ++t) {
+    if (responses.TaskResponseCount(t) == 0) {
+      return Status::InsufficientData(
+          StrFormat("Dawid-Skene: task %zu has no responses", t));
+    }
+  }
+
+  DawidSkeneModel model;
+  model.posteriors = linalg::Matrix(n, k);
+  model.priors = linalg::Vector(k, 1.0 / k);
+  model.confusion.assign(m, linalg::Matrix(k, k));
+
+  // Initialization: posterior = response frequencies per task (soft
+  // majority vote).
+  for (data::TaskId t = 0; t < n; ++t) {
+    double total = 0.0;
+    for (data::WorkerId w = 0; w < m; ++w) {
+      auto r = responses.Get(w, t);
+      if (!r.has_value()) continue;
+      model.posteriors(t, *r) += 1.0;
+      total += 1.0;
+    }
+    for (int z = 0; z < k; ++z) model.posteriors(t, z) /= total;
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+
+    // M step: priors and confusion matrices from soft counts.
+    for (int z = 0; z < k; ++z) {
+      double sum = 0.0;
+      for (data::TaskId t = 0; t < n; ++t) sum += model.posteriors(t, z);
+      model.priors[z] = sum / static_cast<double>(n);
+    }
+    for (data::WorkerId w = 0; w < m; ++w) {
+      linalg::Matrix counts(k, k, options.smoothing);
+      for (data::TaskId t = 0; t < n; ++t) {
+        auto r = responses.Get(w, t);
+        if (!r.has_value()) continue;
+        for (int z = 0; z < k; ++z) {
+          counts(z, *r) += model.posteriors(t, z);
+        }
+      }
+      for (int z = 0; z < k; ++z) {
+        double row_sum = 0.0;
+        for (int r = 0; r < k; ++r) row_sum += counts(z, r);
+        for (int r = 0; r < k; ++r) {
+          model.confusion[w](z, r) = counts(z, r) / row_sum;
+        }
+      }
+    }
+
+    // E step: recompute posteriors; track the largest change and the
+    // log-likelihood.
+    double max_change = 0.0;
+    double log_likelihood = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      // Work in log space for numerical stability.
+      linalg::Vector log_post(k);
+      for (int z = 0; z < k; ++z) {
+        log_post[z] = std::log(std::max(model.priors[z], 1e-300));
+      }
+      for (data::WorkerId w = 0; w < m; ++w) {
+        auto r = responses.Get(w, t);
+        if (!r.has_value()) continue;
+        for (int z = 0; z < k; ++z) {
+          log_post[z] +=
+              std::log(std::max(model.confusion[w](z, *r), 1e-300));
+        }
+      }
+      double max_log = *std::max_element(log_post.begin(), log_post.end());
+      double norm = 0.0;
+      for (int z = 0; z < k; ++z) {
+        log_post[z] = std::exp(log_post[z] - max_log);
+        norm += log_post[z];
+      }
+      log_likelihood += max_log + std::log(norm);
+      for (int z = 0; z < k; ++z) {
+        double updated = log_post[z] / norm;
+        max_change =
+            std::max(max_change, std::fabs(updated - model.posteriors(t, z)));
+        model.posteriors(t, z) = updated;
+      }
+    }
+    model.log_likelihood = log_likelihood;
+    if (max_change < options.tolerance) {
+      model.converged = true;
+      break;
+    }
+  }
+
+  model.labels.resize(n);
+  for (data::TaskId t = 0; t < n; ++t) {
+    int best = 0;
+    for (int z = 1; z < k; ++z) {
+      if (model.posteriors(t, z) > model.posteriors(t, best)) best = z;
+    }
+    model.labels[t] = best;
+  }
+  return model;
+}
+
+}  // namespace crowd::baselines

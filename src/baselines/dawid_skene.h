@@ -1,0 +1,56 @@
+// Dawid–Skene expectation-maximization (Applied Statistics, 1979): the
+// classical point-estimate approach the paper's related-work section
+// contrasts against. Estimates per-worker k x k confusion matrices,
+// class priors and per-task label posteriors — but, unlike the paper's
+// methods, provides no confidence intervals. Used here as an ablation
+// baseline and in the examples.
+
+#ifndef CROWD_BASELINES_DAWID_SKENE_H_
+#define CROWD_BASELINES_DAWID_SKENE_H_
+
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::baselines {
+
+/// Options for the EM iteration.
+struct DawidSkeneOptions {
+  int max_iterations = 100;
+  /// Stop when the largest posterior change falls below this.
+  double tolerance = 1e-6;
+  /// Laplace smoothing added to confusion-matrix counts, keeping
+  /// estimated probabilities strictly positive.
+  double smoothing = 0.01;
+};
+
+/// \brief The fitted model.
+struct DawidSkeneModel {
+  /// Per-worker confusion matrices; entry (z, r) = P(respond r | truth z).
+  std::vector<linalg::Matrix> confusion;
+  /// Class priors, length = arity.
+  linalg::Vector priors;
+  /// Per-task posterior over the true label, tasks x arity.
+  linalg::Matrix posteriors;
+  /// argmax posterior per task.
+  std::vector<data::Response> labels;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Prior-weighted error rate of a worker:
+  /// sum_z priors[z] * (1 - confusion[w](z, z)).
+  double WorkerErrorRate(data::WorkerId w) const;
+};
+
+/// \brief Fits Dawid–Skene by EM, initialized from majority vote.
+/// Fails when some task has no responses at all.
+Result<DawidSkeneModel> FitDawidSkene(
+    const data::ResponseMatrix& responses,
+    const DawidSkeneOptions& options = {});
+
+}  // namespace crowd::baselines
+
+#endif  // CROWD_BASELINES_DAWID_SKENE_H_

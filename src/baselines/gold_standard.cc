@@ -1,0 +1,47 @@
+#include "baselines/gold_standard.h"
+
+#include "util/string_util.h"
+
+namespace crowd::baselines {
+
+Result<GoldAssessment> EvaluateWorkerAgainstGold(
+    const data::Dataset& dataset, data::WorkerId worker,
+    double confidence) {
+  const auto& responses = dataset.responses();
+  if (worker >= responses.num_workers()) {
+    return Status::Invalid(StrFormat("worker id %zu out of range", worker));
+  }
+  GoldAssessment out;
+  out.worker = worker;
+  for (data::TaskId t = 0; t < responses.num_tasks(); ++t) {
+    auto gold = dataset.Gold(t);
+    if (!gold.has_value()) continue;
+    auto r = responses.Get(worker, t);
+    if (!r.has_value()) continue;
+    ++out.attempted;
+    if (*r != *gold) ++out.wrong;
+  }
+  if (out.attempted == 0) {
+    return Status::InsufficientData(
+        StrFormat("worker %zu answered no gold-labeled task", worker));
+  }
+  out.error_rate = static_cast<double>(out.wrong) / out.attempted;
+  CROWD_ASSIGN_OR_RETURN(
+      out.wald, stats::WaldInterval(out.wrong, out.attempted, confidence));
+  CROWD_ASSIGN_OR_RETURN(
+      out.wilson,
+      stats::WilsonInterval(out.wrong, out.attempted, confidence));
+  return out;
+}
+
+std::vector<GoldAssessment> EvaluateAllAgainstGold(
+    const data::Dataset& dataset, double confidence) {
+  std::vector<GoldAssessment> out;
+  for (data::WorkerId w = 0; w < dataset.responses().num_workers(); ++w) {
+    auto assessment = EvaluateWorkerAgainstGold(dataset, w, confidence);
+    if (assessment.ok()) out.push_back(*assessment);
+  }
+  return out;
+}
+
+}  // namespace crowd::baselines

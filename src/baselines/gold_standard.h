@@ -1,0 +1,41 @@
+// The classical gold-standard worker evaluation the paper's intro
+// describes: score each worker against known-correct tasks and report
+// a standard binomial confidence interval. Serves as the "if you had
+// ground truth" reference point in examples and ablations.
+
+#ifndef CROWD_BASELINES_GOLD_STANDARD_H_
+#define CROWD_BASELINES_GOLD_STANDARD_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/intervals.h"
+#include "util/result.h"
+
+namespace crowd::baselines {
+
+/// \brief One worker's gold-standard scorecard.
+struct GoldAssessment {
+  data::WorkerId worker = 0;
+  int attempted = 0;
+  int wrong = 0;
+  /// wrong / attempted.
+  double error_rate = 0.0;
+  stats::ConfidenceInterval wald;
+  stats::ConfidenceInterval wilson;
+};
+
+/// \brief Evaluates one worker against the dataset's gold labels.
+/// Fails with InsufficientData when the worker answered no gold task.
+Result<GoldAssessment> EvaluateWorkerAgainstGold(
+    const data::Dataset& dataset, data::WorkerId worker,
+    double confidence);
+
+/// \brief Evaluates all workers; workers without gold-labeled
+/// responses are skipped (absent from the output).
+std::vector<GoldAssessment> EvaluateAllAgainstGold(
+    const data::Dataset& dataset, double confidence);
+
+}  // namespace crowd::baselines
+
+#endif  // CROWD_BASELINES_GOLD_STANDARD_H_

@@ -1,0 +1,79 @@
+#include "baselines/majority_vote.h"
+
+#include <algorithm>
+
+namespace crowd::baselines {
+
+namespace {
+
+// Plurality winner of `counts`, smallest index on ties; nullopt when
+// all counts are zero.
+std::optional<data::Response> Winner(const std::vector<int>& counts) {
+  int best_count = 0;
+  int best_response = -1;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] > best_count) {
+      best_count = counts[r];
+      best_response = static_cast<int>(r);
+    }
+  }
+  if (best_response < 0) return std::nullopt;
+  return best_response;
+}
+
+}  // namespace
+
+std::vector<std::optional<data::Response>> MajorityLabels(
+    const data::ResponseMatrix& responses) {
+  std::vector<std::optional<data::Response>> labels(responses.num_tasks());
+  std::vector<int> counts(responses.arity());
+  for (data::TaskId t = 0; t < responses.num_tasks(); ++t) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (data::WorkerId w = 0; w < responses.num_workers(); ++w) {
+      auto r = responses.Get(w, t);
+      if (r.has_value()) ++counts[*r];
+    }
+    labels[t] = Winner(counts);
+  }
+  return labels;
+}
+
+std::vector<std::optional<double>> MajorityProxyErrorRates(
+    const data::ResponseMatrix& responses, bool exclude_self) {
+  const size_t m = responses.num_workers();
+  const size_t n = responses.num_tasks();
+
+  // Per-task response histograms, built once.
+  std::vector<std::vector<int>> histograms(
+      n, std::vector<int>(responses.arity(), 0));
+  for (data::TaskId t = 0; t < n; ++t) {
+    for (data::WorkerId w = 0; w < m; ++w) {
+      auto r = responses.Get(w, t);
+      if (r.has_value()) ++histograms[t][*r];
+    }
+  }
+
+  std::vector<std::optional<double>> rates(m);
+  for (data::WorkerId w = 0; w < m; ++w) {
+    int used = 0;
+    int disagreements = 0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      auto r = responses.Get(w, t);
+      if (!r.has_value()) continue;
+      std::vector<int> counts = histograms[t];
+      if (exclude_self) {
+        --counts[*r];
+      }
+      auto majority = Winner(counts);
+      if (!majority.has_value()) continue;  // Worker was alone on task.
+      ++used;
+      if (*majority != *r) ++disagreements;
+    }
+    if (used > 0) {
+      rates[w] = static_cast<double>(disagreements) / used;
+    }
+  }
+  return rates;
+}
+
+}  // namespace crowd::baselines

@@ -1,0 +1,35 @@
+// Majority-vote aggregation: consensus labels per task and the
+// disagreement-with-majority proxy error rate per worker. The paper
+// uses this proxy to pre-filter "pure spammers" (proxy error > 0.4)
+// before running the confidence-interval machinery (Section III-E2),
+// and it doubles as a simple point-estimate baseline.
+
+#ifndef CROWD_BASELINES_MAJORITY_VOTE_H_
+#define CROWD_BASELINES_MAJORITY_VOTE_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "util/result.h"
+
+namespace crowd::baselines {
+
+/// \brief Consensus labels: per task, the plurality response among the
+/// workers who attempted it (nullopt when nobody did). Ties break
+/// toward the smallest response value, deterministically.
+std::vector<std::optional<data::Response>> MajorityLabels(
+    const data::ResponseMatrix& responses);
+
+/// \brief Per-worker proxy error rates: the fraction of a worker's
+/// responses that disagree with the majority label of the task.
+///
+/// When `exclude_self` is true the worker's own response is removed
+/// from the vote before comparing (avoids self-agreement bias on thin
+/// tasks). Workers with no usable task get nullopt.
+std::vector<std::optional<double>> MajorityProxyErrorRates(
+    const data::ResponseMatrix& responses, bool exclude_self = true);
+
+}  // namespace crowd::baselines
+
+#endif  // CROWD_BASELINES_MAJORITY_VOTE_H_

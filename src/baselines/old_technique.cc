@@ -1,0 +1,146 @@
+#include "baselines/old_technique.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/overlap_index.h"
+#include "stats/normal.h"
+#include "util/string_util.h"
+
+namespace crowd::baselines {
+
+namespace {
+
+// The triangulation formula (Equation 1 of the paper). Duplicated here
+// deliberately: the old technique is a self-contained baseline and must
+// not depend on crowd_core.
+double TriangulateP(double q_ij, double q_ik, double q_jk) {
+  return 0.5 - 0.5 * std::sqrt((2.0 * q_ij - 1.0) * (2.0 * q_ik - 1.0) /
+                               (2.0 * q_jk - 1.0));
+}
+
+double ClampAgreement(double q, double margin) {
+  return std::clamp(q, 0.5 + margin, 1.0);
+}
+
+// Wald interval endpoints for an agreement rate estimated over
+// `common` tasks, clamped into the admissible (0.5, 1] domain.
+Result<std::pair<double, double>> AgreementBounds(
+    double q_hat, size_t common, const OldTechniqueOptions& options) {
+  CROWD_ASSIGN_OR_RETURN(double z, stats::TwoSidedZ(options.confidence));
+  double dev =
+      std::sqrt(q_hat * (1.0 - q_hat) / static_cast<double>(common));
+  double lo = ClampAgreement(q_hat - z * dev, options.min_agreement_margin);
+  double hi = ClampAgreement(q_hat + z * dev, options.min_agreement_margin);
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace
+
+Result<OldAssessment> OldThreeWorkerEvaluate(
+    const data::ResponseMatrix& responses, data::WorkerId i,
+    data::WorkerId j, data::WorkerId k,
+    const OldTechniqueOptions& options) {
+  if (responses.arity() != 2) {
+    return Status::Invalid("old technique supports binary tasks only");
+  }
+  data::OverlapIndex overlap(responses);
+  CROWD_ASSIGN_OR_RETURN(double q_ij_hat, overlap.AgreementRate(i, j));
+  CROWD_ASSIGN_OR_RETURN(double q_ik_hat, overlap.AgreementRate(i, k));
+  CROWD_ASSIGN_OR_RETURN(double q_jk_hat, overlap.AgreementRate(j, k));
+
+  CROWD_ASSIGN_OR_RETURN(
+      auto q_ij,
+      AgreementBounds(q_ij_hat, overlap.CommonCount(i, j), options));
+  CROWD_ASSIGN_OR_RETURN(
+      auto q_ik,
+      AgreementBounds(q_ik_hat, overlap.CommonCount(i, k), options));
+  CROWD_ASSIGN_OR_RETURN(
+      auto q_jk,
+      AgreementBounds(q_jk_hat, overlap.CommonCount(j, k), options));
+
+  const double margin = options.min_agreement_margin;
+  OldAssessment out;
+  out.worker = i;
+  out.error_rate =
+      TriangulateP(ClampAgreement(q_ij_hat, margin),
+                   ClampAgreement(q_ik_hat, margin),
+                   ClampAgreement(q_jk_hat, margin));
+  // f is decreasing in q_ij and q_ik, increasing in q_jk, so the
+  // extreme p values sit at opposite corners of the q box.
+  double p_lo = TriangulateP(q_ij.second, q_ik.second, q_jk.first);
+  double p_hi = TriangulateP(q_ij.first, q_ik.first, q_jk.second);
+  out.interval.lo = std::clamp(std::min(p_lo, p_hi), 0.0, 0.5);
+  out.interval.hi = std::clamp(std::max(p_lo, p_hi), 0.0, 0.5);
+  out.interval.confidence = options.confidence;
+  return out;
+}
+
+Result<std::vector<OldAssessment>> OldMWorkerEvaluate(
+    const data::ResponseMatrix& responses,
+    const OldTechniqueOptions& options) {
+  if (responses.arity() != 2) {
+    return Status::Invalid("old technique supports binary tasks only");
+  }
+  const size_t m = responses.num_workers();
+  const size_t n = responses.num_tasks();
+  if (m < 3) {
+    return Status::InsufficientData(
+        "old technique needs at least 3 workers");
+  }
+  if (responses.TotalResponses() != m * n) {
+    return Status::Invalid(
+        "old technique's super-worker construction requires regular "
+        "data (every worker attempts every task)");
+  }
+
+  std::vector<OldAssessment> out;
+  out.reserve(m);
+  for (data::WorkerId i = 0; i < m; ++i) {
+    if (m == 3) {
+      data::WorkerId j = (i + 1) % 3;
+      data::WorkerId k = (i + 2) % 3;
+      CROWD_ASSIGN_OR_RETURN(
+          auto assessment,
+          OldThreeWorkerEvaluate(responses, i, j, k, options));
+      out.push_back(assessment);
+      continue;
+    }
+    // Split the other workers into two alternating groups.
+    std::vector<data::WorkerId> group_a;
+    std::vector<data::WorkerId> group_b;
+    for (data::WorkerId w = 0; w < m; ++w) {
+      if (w == i) continue;
+      ((group_a.size() <= group_b.size()) ? group_a : group_b).push_back(w);
+    }
+    // Build the 3-worker matrix: worker 0 = wi, 1/2 = super-workers.
+    data::ResponseMatrix triple(3, n, 2);
+    for (data::TaskId t = 0; t < n; ++t) {
+      CROWD_RETURN_NOT_OK(triple.Set(0, t, *responses.Get(i, t)));
+      for (int g = 0; g < 2; ++g) {
+        const auto& group = (g == 0) ? group_a : group_b;
+        int ones = 0;
+        for (data::WorkerId w : group) {
+          ones += *responses.Get(w, t);
+        }
+        int zeros = static_cast<int>(group.size()) - ones;
+        int majority;
+        if (ones > zeros) {
+          majority = 1;
+        } else if (zeros > ones) {
+          majority = 0;
+        } else {
+          majority = *responses.Get(group.front(), t);  // Tie-break.
+        }
+        CROWD_RETURN_NOT_OK(triple.Set(1 + g, t, majority));
+      }
+    }
+    CROWD_ASSIGN_OR_RETURN(
+        auto assessment, OldThreeWorkerEvaluate(triple, 0, 1, 2, options));
+    assessment.worker = i;
+    out.push_back(assessment);
+  }
+  return out;
+}
+
+}  // namespace crowd::baselines

@@ -1,0 +1,60 @@
+// The "old technique" the paper compares against (reference [2],
+// Joglekar et al., "Evaluating the crowd with confidence", KDD 2013),
+// reconstructed for the Figure 1 comparison:
+//
+//  * 3 workers, binary, regular data, equal false-positive/negative
+//    rates;
+//  * each pairwise agreement rate gets its own c-confidence interval;
+//  * the intervals are pushed through the triangulation function f by
+//    monotone interval arithmetic (endpoints), so widths add up
+//    linearly instead of combining in quadrature — which is exactly why
+//    the old intervals are systematically wider than the new ones;
+//  * for m > 3 workers the remaining workers are split into two
+//    "super-workers" whose response is the majority of their group —
+//    valid only on regular data (the paper explains why this breaks on
+//    non-regular data, which is the gap the new technique fills).
+
+#ifndef CROWD_BASELINES_OLD_TECHNIQUE_H_
+#define CROWD_BASELINES_OLD_TECHNIQUE_H_
+
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "stats/intervals.h"
+#include "util/result.h"
+
+namespace crowd::baselines {
+
+/// \brief One worker's assessment under the old technique.
+struct OldAssessment {
+  data::WorkerId worker = 0;
+  /// Point estimate of the error rate (triangulation at the observed
+  /// agreement rates).
+  double error_rate = 0.0;
+  stats::ConfidenceInterval interval;
+};
+
+/// Options for the old technique.
+struct OldTechniqueOptions {
+  double confidence = 0.95;
+  /// Agreement rates (and interval endpoints) are clamped to at least
+  /// 0.5 + this margin before entering the triangulation formula.
+  double min_agreement_margin = 1e-6;
+};
+
+/// \brief Old-technique evaluation of worker `i` against two peers
+/// `j` and `k` (binary tasks). Fails when a pair has no common tasks.
+Result<OldAssessment> OldThreeWorkerEvaluate(
+    const data::ResponseMatrix& responses, data::WorkerId i,
+    data::WorkerId j, data::WorkerId k, const OldTechniqueOptions& options);
+
+/// \brief Old-technique evaluation of every worker using the
+/// super-worker construction. Requires binary, regular data (every
+/// worker attempted every task); otherwise fails with InvalidArgument.
+Result<std::vector<OldAssessment>> OldMWorkerEvaluate(
+    const data::ResponseMatrix& responses,
+    const OldTechniqueOptions& options);
+
+}  // namespace crowd::baselines
+
+#endif  // CROWD_BASELINES_OLD_TECHNIQUE_H_

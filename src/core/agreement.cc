@@ -1,0 +1,21 @@
+#include "core/agreement.h"
+
+#include <algorithm>
+
+namespace crowd::core {
+
+Result<PairAgreement> ComputePairAgreement(
+    const data::OverlapIndex& overlap, data::WorkerId a, data::WorkerId b,
+    double min_agreement_margin) {
+  PairAgreement out;
+  out.a = a;
+  out.b = b;
+  out.common = overlap.CommonCount(a, b);
+  CROWD_ASSIGN_OR_RETURN(out.q_raw, overlap.AgreementRate(a, b));
+  double floor = 0.5 + min_agreement_margin;
+  out.q = std::clamp(out.q_raw, floor, 1.0);
+  out.clamped = out.q != out.q_raw;
+  return out;
+}
+
+}  // namespace crowd::core

@@ -1,0 +1,165 @@
+#include "core/em_refine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix_functions.h"
+#include "util/string_util.h"
+
+namespace crowd::core {
+
+namespace {
+
+// Clamps a response matrix into the (floored) simplex row by row.
+Status SanitizeMatrix(linalg::Matrix* m, double floor) {
+  linalg::ClampEntries(m, floor, 1.0);
+  return linalg::NormalizeRowsToSumOne(m);
+}
+
+Status SanitizeSelectivity(linalg::Vector* s, double floor) {
+  double total = 0.0;
+  for (double& v : *s) {
+    v = std::max(v, floor);
+    total += v;
+  }
+  if (!(total > 0.0)) {
+    return Status::NumericalError("selectivity collapsed to zero");
+  }
+  for (double& v : *s) v /= total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EmRefineResult> EmRefineFromCounts(
+    const CountsTensor& counts, const std::array<linalg::Matrix, 3>& init_p,
+    const linalg::Vector& init_selectivity,
+    const EmRefineOptions& options) {
+  const int k = counts.arity();
+  for (const auto& m : init_p) {
+    if (m.rows() != static_cast<size_t>(k) ||
+        m.cols() != static_cast<size_t>(k)) {
+      return Status::Invalid("EM init matrix does not match arity");
+    }
+  }
+  if (init_selectivity.size() != static_cast<size_t>(k)) {
+    return Status::Invalid("EM init selectivity does not match arity");
+  }
+
+  EmRefineResult model;
+  model.p = init_p;
+  model.selectivity = init_selectivity;
+  for (auto& m : model.p) {
+    CROWD_RETURN_NOT_OK(SanitizeMatrix(&m, options.probability_floor));
+  }
+  CROWD_RETURN_NOT_OK(
+      SanitizeSelectivity(&model.selectivity, options.probability_floor));
+
+  // Cells carrying likelihood information (>= 1 responding worker).
+  const std::vector<CountsCell> cells = counts.CellsWithMinWorkers(1);
+
+  linalg::Vector posterior(k);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+
+    // Accumulators for the M step.
+    linalg::Vector prior_acc(k, 0.0);
+    std::array<linalg::Matrix, 3> resp_acc = {
+        linalg::Matrix(k, k), linalg::Matrix(k, k), linalg::Matrix(k, k)};
+    std::array<linalg::Vector, 3> resp_norm = {
+        linalg::Vector(k, 0.0), linalg::Vector(k, 0.0),
+        linalg::Vector(k, 0.0)};
+    double total_weight = 0.0;
+    double log_likelihood = 0.0;
+
+    // E step over cells.
+    for (const CountsCell& cell : cells) {
+      double weight = counts.at(cell);
+      if (weight <= 0.0) continue;
+      const int resp[3] = {cell.a, cell.b, cell.c};
+      double norm = 0.0;
+      for (int z = 0; z < k; ++z) {
+        double likelihood = model.selectivity[z];
+        for (int worker = 0; worker < 3; ++worker) {
+          if (resp[worker] != 0) {
+            likelihood *= model.p[worker](z, resp[worker] - 1);
+          }
+        }
+        posterior[z] = likelihood;
+        norm += likelihood;
+      }
+      if (!(norm > 0.0)) continue;  // Floored probabilities prevent this.
+      log_likelihood += weight * std::log(norm);
+      for (int z = 0; z < k; ++z) {
+        double soft = weight * posterior[z] / norm;
+        prior_acc[z] += soft;
+        for (int worker = 0; worker < 3; ++worker) {
+          if (resp[worker] != 0) {
+            resp_acc[worker](z, resp[worker] - 1) += soft;
+            resp_norm[worker][z] += soft;
+          }
+        }
+      }
+      total_weight += weight;
+    }
+    if (total_weight <= 0.0) {
+      return Status::InsufficientData("EM refinement: no responses");
+    }
+    model.log_likelihood = log_likelihood;
+
+    // M step with change tracking.
+    double max_change = 0.0;
+    for (int z = 0; z < k; ++z) {
+      double updated = prior_acc[z] / total_weight;
+      max_change =
+          std::max(max_change, std::fabs(updated - model.selectivity[z]));
+      model.selectivity[z] = updated;
+    }
+    CROWD_RETURN_NOT_OK(
+        SanitizeSelectivity(&model.selectivity, options.probability_floor));
+    for (int worker = 0; worker < 3; ++worker) {
+      for (int z = 0; z < k; ++z) {
+        if (resp_norm[worker][z] <= 0.0) continue;  // Keep previous row.
+        for (int r = 0; r < k; ++r) {
+          double updated =
+              resp_acc[worker](z, r) / resp_norm[worker][z];
+          max_change = std::max(
+              max_change, std::fabs(updated - model.p[worker](z, r)));
+          model.p[worker](z, r) = updated;
+        }
+      }
+      CROWD_RETURN_NOT_OK(
+          SanitizeMatrix(&model.p[worker], options.probability_floor));
+    }
+    if (max_change < options.tolerance) {
+      model.converged = true;
+      break;
+    }
+  }
+  return model;
+}
+
+Result<EmRefineResult> SpectralThenEm(
+    const CountsTensor& counts,
+    const ProbEstimateOptions& spectral_options,
+    const EmRefineOptions& em_options) {
+  CROWD_ASSIGN_OR_RETURN(ProbEstimateResult spectral,
+                         ProbEstimate(counts, spectral_options));
+  std::array<linalg::Matrix, 3> init;
+  linalg::Vector selectivity(counts.arity(), 0.0);
+  for (int worker = 0; worker < 3; ++worker) {
+    linalg::Matrix p = spectral.v(worker);
+    linalg::Vector sums = linalg::RowSums(p);
+    for (int z = 0; z < counts.arity(); ++z) {
+      selectivity[z] += sums[z] * sums[z] / 3.0;
+    }
+    auto normalized = linalg::NormalizeRowsToSumOne(&p);
+    if (!normalized.ok()) {
+      return normalized.WithContext("normalizing spectral init");
+    }
+    init[worker] = std::move(p);
+  }
+  return EmRefineFromCounts(counts, init, selectivity, em_options);
+}
+
+}  // namespace crowd::core

@@ -1,0 +1,66 @@
+#include "core/evaluator.h"
+
+namespace crowd::core {
+
+Result<CrowdEvaluator::BinaryReport> CrowdEvaluator::EvaluateBinary(
+    const data::ResponseMatrix& responses) const {
+  BinaryReport report;
+  if (!config_.prefilter_spammers) {
+    CROWD_ASSIGN_OR_RETURN(MWorkerResult result,
+                           MWorkerEvaluate(responses, config_.binary));
+    report.assessments = std::move(result.assessments);
+    report.failures = std::move(result.failures);
+    return report;
+  }
+
+  CROWD_ASSIGN_OR_RETURN(SpammerFilterResult filtered,
+                         FilterSpammers(responses, config_.spammer));
+  report.removed_spammers = filtered.removed;
+  CROWD_ASSIGN_OR_RETURN(
+      MWorkerResult result,
+      MWorkerEvaluate(filtered.filtered, config_.binary));
+  // Map filtered indices back to the original worker ids.
+  report.assessments = std::move(result.assessments);
+  for (WorkerAssessment& a : report.assessments) {
+    a.worker = filtered.kept[a.worker];
+  }
+  report.failures = std::move(result.failures);
+  for (auto& [worker, status] : report.failures) {
+    worker = filtered.kept[worker];
+  }
+  return report;
+}
+
+Result<KaryResult> CrowdEvaluator::EvaluateKaryTriple(
+    const data::ResponseMatrix& responses, data::WorkerId w1,
+    data::WorkerId w2, data::WorkerId w3) const {
+  return KaryEvaluate(responses, w1, w2, w3, config_.kary);
+}
+
+KaryMWorkerResult CrowdEvaluator::EvaluateKaryAll(
+    const data::ResponseMatrix& responses,
+    const KaryMWorkerOptions& options) const {
+  KaryMWorkerOptions merged = options;
+  merged.kary = config_.kary;
+  return KaryEvaluateAllWorkers(responses, merged);
+}
+
+std::vector<data::WorkerId> CrowdEvaluator::WorkersConfidentlyBelow(
+    const std::vector<WorkerAssessment>& assessments, double threshold) {
+  std::vector<data::WorkerId> out;
+  for (const auto& a : assessments) {
+    if (a.interval.hi < threshold) out.push_back(a.worker);
+  }
+  return out;
+}
+
+std::vector<data::WorkerId> CrowdEvaluator::WorkersConfidentlyAbove(
+    const std::vector<WorkerAssessment>& assessments, double threshold) {
+  std::vector<data::WorkerId> out;
+  for (const auto& a : assessments) {
+    if (a.interval.lo > threshold) out.push_back(a.worker);
+  }
+  return out;
+}
+
+}  // namespace crowd::core

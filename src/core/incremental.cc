@@ -1,0 +1,78 @@
+#include "core/incremental.h"
+
+namespace crowd::core {
+
+IncrementalEvaluator::IncrementalEvaluator(size_t num_workers,
+                                           size_t num_tasks,
+                                           BinaryOptions options)
+    : options_(options),
+      responses_(num_workers, num_tasks, 2),
+      overlap_(responses_),
+      dirty_epoch_(num_workers, 1),
+      cached_epoch_(num_workers, 0),
+      cache_(num_workers) {}
+
+Status IncrementalEvaluator::AddResponse(data::WorkerId w, data::TaskId t,
+                                         data::Response response) {
+  if (w >= responses_.num_workers() || t >= responses_.num_tasks()) {
+    return Status::Invalid("AddResponse: index out of range");
+  }
+  std::optional<data::Response> previous = responses_.Get(w, t);
+  if (previous.has_value() && *previous == response) return Status::OK();
+  CROWD_RETURN_NOT_OK(responses_.Set(w, t, response));
+  CROWD_RETURN_NOT_OK(overlap_.ApplyResponse(w, t, previous));
+  MarkTaskDirty(t, w);
+  return Status::OK();
+}
+
+void IncrementalEvaluator::MarkTaskDirty(data::TaskId /*t*/,
+                                         data::WorkerId responder) {
+  ++epoch_counter_;
+  for (data::WorkerId v = 0; v < responses_.num_workers(); ++v) {
+    if (v == responder || overlap_.CommonCount(v, responder) > 0) {
+      dirty_epoch_[v] = epoch_counter_;
+    }
+  }
+}
+
+Result<WorkerAssessment> IncrementalEvaluator::Evaluate(
+    data::WorkerId worker) {
+  if (worker >= responses_.num_workers()) {
+    return Status::Invalid("Evaluate: worker id out of range");
+  }
+  if (cache_[worker].has_value() &&
+      cached_epoch_[worker] == dirty_epoch_[worker]) {
+    return *cache_[worker];
+  }
+  Result<WorkerAssessment> assessment =
+      EvaluateWorker(overlap_, worker, options_);
+  cache_[worker] = assessment;
+  cached_epoch_[worker] = dirty_epoch_[worker];
+  return assessment;
+}
+
+MWorkerResult IncrementalEvaluator::EvaluateAll() {
+  MWorkerResult out;
+  for (data::WorkerId w = 0; w < responses_.num_workers(); ++w) {
+    auto assessment = Evaluate(w);
+    if (assessment.ok()) {
+      out.assessments.push_back(*assessment);
+    } else {
+      out.failures.emplace_back(w, assessment.status());
+    }
+  }
+  return out;
+}
+
+size_t IncrementalEvaluator::DirtyWorkerCount() const {
+  size_t count = 0;
+  for (data::WorkerId w = 0; w < responses_.num_workers(); ++w) {
+    if (!cache_[w].has_value() ||
+        cached_epoch_[w] != dirty_epoch_[w]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace crowd::core

@@ -1,0 +1,72 @@
+// Algorithm A3: confidence intervals for k-ary response probabilities.
+//
+// ProbEstimate (core/prob_estimate.h) is treated as the function f of
+// Theorem 1, mapping the counts tensor to the S^{1/2} P_i estimates.
+// Its Jacobian is computed by central finite differences against each
+// counts cell; the covariance of the cells comes from Lemma 9; the
+// delta method then yields a deviation and interval per matrix entry.
+// Row-normalizing the V_i = S^{1/2} P_i intervals gives intervals on
+// the response probabilities P_i themselves, and the squared row sums
+// estimate the selectivity S.
+
+#ifndef CROWD_CORE_KARY_ESTIMATOR_H_
+#define CROWD_CORE_KARY_ESTIMATOR_H_
+
+#include <array>
+#include <vector>
+
+#include "core/counts_tensor.h"
+#include "core/prob_estimate.h"
+#include "stats/intervals.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// Options for the k-ary estimator.
+struct KaryOptions {
+  double confidence = 0.95;
+  /// Finite-difference step on counts cells (the paper's epsilon).
+  double epsilon = 0.01;
+  /// When true, only cells where all three workers responded are
+  /// perturbed, exactly as written in the paper's Step 6. When false
+  /// (default), cells with two responding workers are included as
+  /// well — on non-regular data those cells feed the response-
+  /// frequency matrices too, and skipping them understates variance.
+  bool paper_strict_jacobian = false;
+  ProbEstimateOptions prob_estimate;
+};
+
+/// \brief Interval matrix for one worker.
+struct KaryWorkerEstimate {
+  /// Point estimate of S^{1/2} P_i.
+  linalg::Matrix v;
+  /// Point estimate of P_i (rows of `v` normalized to sum 1).
+  linalg::Matrix p;
+  /// Per-entry deviations of the V estimate (Theorem 1).
+  linalg::Matrix v_deviation;
+  /// intervals[j1][j2]: confidence interval for P_i(j1, j2).
+  std::vector<std::vector<stats::ConfidenceInterval>> intervals;
+};
+
+/// \brief Full Algorithm A3 output for a worker triple.
+struct KaryResult {
+  std::array<KaryWorkerEstimate, 3> workers;
+  /// Estimated selectivity (prior over true responses), length k.
+  linalg::Vector selectivity;
+  /// Rotation slices used by the underlying ProbEstimate.
+  int rotations_used = 0;
+};
+
+/// \brief Runs Algorithm A3 on three workers of a k-ary dataset.
+Result<KaryResult> KaryEvaluate(const data::ResponseMatrix& responses,
+                                data::WorkerId w1, data::WorkerId w2,
+                                data::WorkerId w3,
+                                const KaryOptions& options = {});
+
+/// \brief Same, from a prebuilt counts tensor.
+Result<KaryResult> KaryEvaluateCounts(const CountsTensor& counts,
+                                      const KaryOptions& options = {});
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_KARY_ESTIMATOR_H_

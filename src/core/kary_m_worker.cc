@@ -1,0 +1,155 @@
+#include "core/kary_m_worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/triple_selection.h"
+#include "data/overlap_index.h"
+#include "linalg/matrix_functions.h"
+#include "stats/normal.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowd::core {
+
+namespace {
+
+// Greedy peer pairing restricted to peers meeting the overlap
+// threshold — the same strategy as Algorithm A2's Step 1 but with the
+// k-ary method's stronger data requirement.
+std::vector<WorkerPair> QualifiedPairs(const data::OverlapIndex& overlap,
+                                       data::WorkerId target,
+                                       size_t min_overlap) {
+  std::vector<data::WorkerId> candidates;
+  for (data::WorkerId v = 0; v < overlap.num_workers(); ++v) {
+    if (v != target && overlap.CommonCount(target, v) >= min_overlap) {
+      candidates.push_back(v);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](data::WorkerId a, data::WorkerId b) {
+                     return overlap.CommonCount(target, a) >
+                            overlap.CommonCount(target, b);
+                   });
+  std::vector<WorkerPair> pairs;
+  while (candidates.size() >= 2) {
+    data::WorkerId head = candidates.front();
+    size_t partner = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (overlap.CommonCount(head, candidates[i]) >= min_overlap) {
+        partner = i;
+        break;
+      }
+    }
+    if (partner == 0) {
+      candidates.erase(candidates.begin());
+      continue;
+    }
+    pairs.emplace_back(head, candidates[partner]);
+    candidates.erase(candidates.begin() + static_cast<long>(partner));
+    candidates.erase(candidates.begin());
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<KaryWorkerAssessment> KaryEvaluateWorker(
+    const data::ResponseMatrix& responses, data::WorkerId worker,
+    const KaryMWorkerOptions& options) {
+  if (worker >= responses.num_workers()) {
+    return Status::Invalid(StrFormat("worker id %zu out of range", worker));
+  }
+  const int k = responses.arity();
+  data::OverlapIndex overlap(responses);
+  std::vector<WorkerPair> pairs =
+      QualifiedPairs(overlap, worker, options.min_pair_overlap);
+  if (pairs.empty()) {
+    return Status::InsufficientData(StrFormat(
+        "worker %zu: no peer pair meets the %zu-task overlap threshold",
+        worker, options.min_pair_overlap));
+  }
+  if (options.max_triples > 0 && pairs.size() > options.max_triples) {
+    pairs.resize(options.max_triples);
+  }
+
+  CROWD_ASSIGN_OR_RETURN(double z,
+                         stats::TwoSidedZ(options.kary.confidence));
+
+  // Per-entry inverse-variance accumulation across triples.
+  linalg::Matrix weight_sum(k, k);
+  linalg::Matrix weighted_center(k, k);
+  size_t used = 0;
+  for (const auto& [j1, j2] : pairs) {
+    auto triple =
+        KaryEvaluate(responses, worker, j1, j2, options.kary);
+    if (!triple.ok()) {
+      CROWD_LOG_DEBUG << "k-ary triple (" << worker << ", " << j1 << ", "
+                      << j2 << ") failed: " << triple.status().ToString();
+      continue;
+    }
+    const KaryWorkerEstimate& est = triple->workers[0];
+    bool usable = true;
+    for (int r = 0; r < k && usable; ++r) {
+      for (int c = 0; c < k && usable; ++c) {
+        if (!std::isfinite(est.intervals[r][c].center()) ||
+            !std::isfinite(est.intervals[r][c].size())) {
+          usable = false;
+        }
+      }
+    }
+    if (!usable) continue;
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) {
+        const auto& ci = est.intervals[r][c];
+        double dev = ci.size() / (2.0 * z);
+        // Floor keeps a zero-deviation entry from absorbing all weight.
+        double variance = std::max(dev * dev, 1e-8);
+        weight_sum(r, c) += 1.0 / variance;
+        weighted_center(r, c) += ci.center() / variance;
+      }
+    }
+    ++used;
+  }
+  if (used == 0) {
+    return Status::InsufficientData(StrFormat(
+        "worker %zu: all %zu candidate triples degenerate", worker,
+        pairs.size()));
+  }
+
+  KaryWorkerAssessment out;
+  out.worker = worker;
+  out.num_triples = used;
+  out.p = linalg::Matrix(k, k);
+  out.intervals.assign(k, std::vector<stats::ConfidenceInterval>(k));
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      double center = weighted_center(r, c) / weight_sum(r, c);
+      double dev = std::sqrt(1.0 / weight_sum(r, c));
+      out.p(r, c) = center;
+      out.intervals[r][c].lo = center - z * dev;
+      out.intervals[r][c].hi = center + z * dev;
+      out.intervals[r][c].confidence = options.kary.confidence;
+    }
+  }
+  linalg::ClampEntries(&out.p, 0.0, 1.0);
+  CROWD_RETURN_NOT_OK(linalg::NormalizeRowsToSumOne(&out.p));
+  return out;
+}
+
+KaryMWorkerResult KaryEvaluateAllWorkers(
+    const data::ResponseMatrix& responses,
+    const KaryMWorkerOptions& options) {
+  KaryMWorkerResult out;
+  for (data::WorkerId w = 0; w < responses.num_workers(); ++w) {
+    auto assessment = KaryEvaluateWorker(responses, w, options);
+    if (assessment.ok()) {
+      out.assessments.push_back(std::move(*assessment));
+    } else {
+      out.failures.emplace_back(w, assessment.status());
+    }
+  }
+  return out;
+}
+
+}  // namespace crowd::core

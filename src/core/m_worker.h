@@ -1,0 +1,40 @@
+// Algorithm A2: the m-worker binary non-regular estimator. For each
+// worker, peers are paired greedily (Section III-C1), each pair forms
+// a triple evaluated by the 3-worker kernel, and the per-triple
+// estimates are combined with Lemma 4/5 into one confidence interval.
+
+#ifndef CROWD_CORE_M_WORKER_H_
+#define CROWD_CORE_M_WORKER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "data/overlap_index.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// \brief Evaluation of one worker from shared overlap statistics.
+/// Fails with InsufficientData when no valid triple can be formed for
+/// the worker.
+Result<WorkerAssessment> EvaluateWorker(const data::OverlapIndex& overlap,
+                                        data::WorkerId worker,
+                                        const BinaryOptions& options);
+
+/// \brief Result of evaluating a whole worker pool.
+struct MWorkerResult {
+  /// Successful assessments, one per evaluable worker.
+  std::vector<WorkerAssessment> assessments;
+  /// Workers that could not be evaluated, with the reason.
+  std::vector<std::pair<data::WorkerId, Status>> failures;
+};
+
+/// \brief Evaluates every worker of a binary (possibly non-regular)
+/// dataset. Requires at least 3 workers.
+Result<MWorkerResult> MWorkerEvaluate(const data::ResponseMatrix& responses,
+                                      const BinaryOptions& options);
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_M_WORKER_H_

@@ -1,0 +1,79 @@
+// The ProbEstimate routine of Algorithm A3: a spectral point estimate
+// of the worker response-probability matrices from the counts tensor.
+//
+//   R_{i1,i2} = P_{i1}^T S_D P_{i2}                       (Lemma 6)
+//   R_{1,2} R_{3,2}^{-1} R_{3,1} = (S^{1/2} P_1)^T (S^{1/2} P_1)
+//                                                          (Lemma 7)
+// so the principal square root of that product recovers S^{1/2} P_1 up
+// to an orthogonal rotation U, which is in turn recovered from the
+// eigenvectors of the conditional response-frequency matrices
+// (Lemma 8), one per conditioning response j3 of worker 3; the final
+// estimate averages over j3.
+
+#ifndef CROWD_CORE_PROB_ESTIMATE_H_
+#define CROWD_CORE_PROB_ESTIMATE_H_
+
+#include "core/counts_tensor.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// Options for ProbEstimate.
+struct ProbEstimateOptions {
+  /// When the general eigensolver rejects R12 R32^{-1} R31 (complex
+  /// eigenvalues from sampling noise), retry on the symmetrized
+  /// matrix (M + M^T)/2 — valid because M is symmetric in expectation.
+  bool allow_symmetrize_fallback = true;
+  /// Conditioning responses j3 backed by fewer tasks than this are
+  /// skipped in the rotation-recovery average.
+  double min_conditional_count = 1.0;
+  /// A conditional slice whose eigenvalue spectrum has a consecutive
+  /// gap below this fraction of the spectral range is skipped: the
+  /// slice's eigenvalues are worker 3's response probabilities
+  /// P3(z, j3), and repeated values (common — e.g. two classes the
+  /// worker never confuses with j3 both give 0) make the eigenvectors
+  /// of that slice arbitrary within the degenerate subspace. When
+  /// every slice is degenerate, a generic linear combination of slices
+  /// is used instead (its spectrum is simple for generic weights).
+  double min_eigengap_ratio = 0.05;
+};
+
+/// \brief The spectral point estimate.
+struct ProbEstimateResult {
+  /// Estimates of S^{1/2} P_i (k x k), i = 1, 2, 3.
+  linalg::Matrix v1;
+  linalg::Matrix v2;
+  linalg::Matrix v3;
+  /// How many conditioning responses contributed to the rotation
+  /// average (at most k; fewer when some j3 were skipped).
+  int rotations_used = 0;
+
+  const linalg::Matrix& v(int worker_index) const {
+    CROWD_CHECK(worker_index >= 0 && worker_index < 3);
+    return worker_index == 0 ? v1 : (worker_index == 1 ? v2 : v3);
+  }
+};
+
+/// \brief Runs ProbEstimate on a counts tensor. Fails with
+/// InsufficientData when a worker pair shares no tasks and with
+/// NumericalError when the spectral steps degenerate (singular
+/// response-frequency matrix, complex spectrum, no usable rotation).
+Result<ProbEstimateResult> ProbEstimate(
+    const CountsTensor& counts, const ProbEstimateOptions& options = {});
+
+/// \brief The response-frequency matrices of Step 2 (exposed for
+/// tests): R12, R23, R31 with R_{i1,i2}(j1,j2) = fraction of tasks,
+/// among those attempted by both workers, where wi1 answered j1 and
+/// wi2 answered j2.
+struct ResponseFrequencies {
+  linalg::Matrix r12;
+  linalg::Matrix r23;
+  linalg::Matrix r31;
+};
+Result<ResponseFrequencies> ComputeResponseFrequencies(
+    const CountsTensor& counts);
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_PROB_ESTIMATE_H_

@@ -1,0 +1,35 @@
+#include "core/spammer_filter.h"
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/majority_vote.h"
+
+namespace crowd::core {
+
+Result<SpammerFilterResult> FilterSpammers(
+    const data::ResponseMatrix& responses,
+    const SpammerFilterOptions& options) {
+  SpammerFilterResult out{
+      {}, {}, {}, data::ResponseMatrix(0, responses.num_tasks(),
+                                       responses.arity())};
+  auto proxies = baselines::MajorityProxyErrorRates(responses,
+                                                    options.exclude_self);
+  out.proxy_error.resize(responses.num_workers(),
+                         std::numeric_limits<double>::quiet_NaN());
+  for (data::WorkerId w = 0; w < responses.num_workers(); ++w) {
+    bool keep;
+    if (proxies[w].has_value()) {
+      out.proxy_error[w] = *proxies[w];
+      keep = *proxies[w] <= options.threshold;
+    } else {
+      keep = !options.drop_unscorable;
+    }
+    (keep ? out.kept : out.removed).push_back(w);
+  }
+  CROWD_ASSIGN_OR_RETURN(out.filtered,
+                         responses.SelectWorkers(out.kept));
+  return out;
+}
+
+}  // namespace crowd::core

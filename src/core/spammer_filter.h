@@ -1,0 +1,48 @@
+// The pre-filtering pass of Section III-E2: workers whose majority-
+// vote proxy error rate exceeds a threshold (0.4 in the paper) are
+// almost surely spammers with error rates near 1/2, where the
+// triangulation formula is singular; removing them markedly improves
+// interval accuracy (Figure 3 vs Figure 4).
+
+#ifndef CROWD_CORE_SPAMMER_FILTER_H_
+#define CROWD_CORE_SPAMMER_FILTER_H_
+
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// Options for the spammer filter.
+struct SpammerFilterOptions {
+  /// Workers with proxy error above this are removed (paper: 0.4).
+  double threshold = 0.4;
+  /// Exclude a worker's own vote when computing the task majority.
+  bool exclude_self = true;
+  /// Workers whose proxy error cannot be computed (no overlapping
+  /// tasks) are removed when true.
+  bool drop_unscorable = true;
+};
+
+/// \brief The filter decision.
+struct SpammerFilterResult {
+  /// Ids (into the original matrix) of the retained workers.
+  std::vector<data::WorkerId> kept;
+  /// Ids of the removed workers.
+  std::vector<data::WorkerId> removed;
+  /// Proxy error rate per original worker (NaN when unscorable).
+  std::vector<double> proxy_error;
+  /// The response matrix restricted to `kept` (workers re-indexed in
+  /// `kept` order).
+  data::ResponseMatrix filtered;
+};
+
+/// \brief Applies the majority-vote spammer filter.
+Result<SpammerFilterResult> FilterSpammers(
+    const data::ResponseMatrix& responses,
+    const SpammerFilterOptions& options = {});
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_SPAMMER_FILTER_H_

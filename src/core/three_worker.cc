@@ -1,0 +1,148 @@
+#include "core/three_worker.h"
+
+#include "core/triangulation.h"
+#include "stats/delta_method.h"
+#include "util/string_util.h"
+
+namespace crowd::core {
+
+namespace {
+
+// Lemma 3 cross-covariance of two agreement rates sharing worker `s`:
+//   Cov(Q_{s,a}, Q_{s,b}) =
+//     c_sab * p_s (1 - p_s) (2 q_ab - 1) / (c_sa * c_sb).
+double SharedWorkerCovariance(double p_shared, double q_other_pair,
+                              size_t c_triple, size_t c_pair_1,
+                              size_t c_pair_2) {
+  return static_cast<double>(c_triple) * p_shared * (1.0 - p_shared) *
+         (2.0 * q_other_pair - 1.0) /
+         (static_cast<double>(c_pair_1) * static_cast<double>(c_pair_2));
+}
+
+// Var(Q_ab) = q (1 - q) / c_ab (Lemma 3), with an Agresti-style
+// (add 1/2) correction on the rate used as the variance basis:
+//   q~ = (agreements + 1/2) / (common + 1).
+// On sparse pairs the raw rate is often exactly 0 or 1, which would
+// report zero variance and hand the triple infinite weight in the
+// Lemma 5 combiner; the correction keeps the variance strictly
+// positive and is negligible (O(1/c)) on well-populated pairs.
+double AgreementVariance(const PairAgreement& pair) {
+  double c = static_cast<double>(pair.common);
+  double corrected = (pair.q_raw * c + 0.5) / (c + 1.0);
+  return corrected * (1.0 - corrected) / c;
+}
+
+}  // namespace
+
+Result<TripleEstimate> EvaluateTriple(const data::OverlapIndex& overlap,
+                                      data::WorkerId i, data::WorkerId j1,
+                                      data::WorkerId j2,
+                                      const BinaryOptions& options) {
+  if (i == j1 || i == j2 || j1 == j2) {
+    return Status::Invalid("EvaluateTriple requires three distinct workers");
+  }
+  TripleEstimate t;
+  t.i = i;
+  t.j1 = j1;
+  t.j2 = j2;
+  const double margin = options.min_agreement_margin;
+  CROWD_ASSIGN_OR_RETURN(t.q_i_j1,
+                         ComputePairAgreement(overlap, i, j1, margin));
+  CROWD_ASSIGN_OR_RETURN(t.q_i_j2,
+                         ComputePairAgreement(overlap, i, j2, margin));
+  CROWD_ASSIGN_OR_RETURN(t.q_j1_j2,
+                         ComputePairAgreement(overlap, j1, j2, margin));
+  t.any_clamped =
+      t.q_i_j1.clamped || t.q_i_j2.clamped || t.q_j1_j2.clamped;
+  if (t.any_clamped &&
+      options.singularity == SingularityPolicy::kDropTriple) {
+    return Status::NumericalError(StrFormat(
+        "triple (%zu, %zu, %zu): an agreement rate is at or below 1/2; "
+        "the triangulation formula is undefined (the paper's documented "
+        "failure mode)",
+        i, j1, j2));
+  }
+  t.c_triple = overlap.TripleCommonCount(i, j1, j2);
+
+  // p_i = f(q_{i,j1}, q_{i,j2}, q_{j1,j2}) with gradient (Lemma 2).
+  CROWD_ASSIGN_OR_RETURN(
+      auto tri,
+      TriangulateWithGradient(t.q_i_j1.q, t.q_i_j2.q, t.q_j1_j2.q));
+  t.p = tri.p;
+  t.d_i_j1 = tri.d_q_ij;
+  t.d_i_j2 = tri.d_q_ik;
+  t.d_j1_j2 = tri.d_q_jk;
+
+  // Peer error rates, needed for the Lemma 3 covariances: rotate the
+  // argument roles of f.
+  CROWD_ASSIGN_OR_RETURN(
+      t.p_j1, TriangulateErrorRate(t.q_i_j1.q, t.q_j1_j2.q, t.q_i_j2.q));
+  CROWD_ASSIGN_OR_RETURN(
+      t.p_j2, TriangulateErrorRate(t.q_i_j2.q, t.q_j1_j2.q, t.q_i_j1.q));
+
+  linalg::Vector gradient = {t.d_i_j1, t.d_i_j2, t.d_j1_j2};
+  auto deviation = stats::DeltaDeviation(gradient, TripleCovariance(t));
+  if (!deviation.ok() && deviation.status().IsNumericalError()) {
+    // The plug-in covariance is estimated, not exactly PSD; on heavily
+    // clamped data (spammers near the 1/2 singularity) the cross terms
+    // can turn the quadratic form negative. Fall back to the diagonal
+    // (variances only), which is non-negative by construction.
+    linalg::Matrix diag_only(3, 3);
+    linalg::Matrix full = TripleCovariance(t);
+    for (size_t d = 0; d < 3; ++d) diag_only(d, d) = full(d, d);
+    deviation = stats::DeltaDeviation(gradient, diag_only);
+  }
+  CROWD_ASSIGN_OR_RETURN(t.deviation, std::move(deviation));
+  return t;
+}
+
+linalg::Matrix TripleCovariance(const TripleEstimate& t) {
+  linalg::Matrix cov(3, 3);
+  cov(0, 0) = AgreementVariance(t.q_i_j1);
+  cov(1, 1) = AgreementVariance(t.q_i_j2);
+  cov(2, 2) = AgreementVariance(t.q_j1_j2);
+  // (q_{i,j1}, q_{i,j2}) share worker i; the "other" pair is (j1, j2).
+  cov(0, 1) = cov(1, 0) = SharedWorkerCovariance(
+      t.p, t.q_j1_j2.q, t.c_triple, t.q_i_j1.common, t.q_i_j2.common);
+  // (q_{i,j1}, q_{j1,j2}) share worker j1; other pair is (i, j2).
+  cov(0, 2) = cov(2, 0) = SharedWorkerCovariance(
+      t.p_j1, t.q_i_j2.q, t.c_triple, t.q_i_j1.common, t.q_j1_j2.common);
+  // (q_{i,j2}, q_{j1,j2}) share worker j2; other pair is (i, j1).
+  cov(1, 2) = cov(2, 1) = SharedWorkerCovariance(
+      t.p_j2, t.q_i_j1.q, t.c_triple, t.q_i_j2.common, t.q_j1_j2.common);
+  return cov;
+}
+
+Result<std::array<WorkerAssessment, 3>> ThreeWorkerEvaluate(
+    const data::ResponseMatrix& responses, const BinaryOptions& options) {
+  if (responses.arity() != 2) {
+    return Status::Invalid(
+        "ThreeWorkerEvaluate supports binary tasks only (use the k-ary "
+        "estimator for arity > 2)");
+  }
+  if (responses.num_workers() != 3) {
+    return Status::Invalid(StrFormat(
+        "ThreeWorkerEvaluate requires exactly 3 workers, got %zu",
+        responses.num_workers()));
+  }
+  data::OverlapIndex overlap(responses);
+  std::array<WorkerAssessment, 3> out;
+  for (data::WorkerId w = 0; w < 3; ++w) {
+    data::WorkerId j1 = (w + 1) % 3;
+    data::WorkerId j2 = (w + 2) % 3;
+    CROWD_ASSIGN_OR_RETURN(auto triple,
+                           EvaluateTriple(overlap, w, j1, j2, options));
+    WorkerAssessment& a = out[w];
+    a.worker = w;
+    a.error_rate = triple.p;
+    a.deviation = triple.deviation;
+    a.num_triples = 1;
+    a.any_clamped = triple.any_clamped;
+    CROWD_ASSIGN_OR_RETURN(
+        a.interval, stats::NormalInterval(triple.p, triple.deviation,
+                                          options.confidence));
+  }
+  return out;
+}
+
+}  // namespace crowd::core

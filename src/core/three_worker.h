@@ -1,0 +1,75 @@
+// The 3-worker binary estimator (Algorithm A1), valid for regular and
+// non-regular data alike — Lemma 3's covariances subsume Lemma 1 as the
+// special case c_ij = n.
+//
+// EvaluateTriple is the reusable inner kernel: it produces worker i's
+// error-rate estimate from one triple together with the quantities
+// (derivatives, deviation, co-attempt counts) that Algorithm A2 needs
+// to combine triples.
+
+#ifndef CROWD_CORE_THREE_WORKER_H_
+#define CROWD_CORE_THREE_WORKER_H_
+
+#include <array>
+
+#include "core/agreement.h"
+#include "core/types.h"
+#include "data/overlap_index.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// \brief Worker i's estimate from the triple (i, j1, j2), plus the
+/// ingredients for cross-triple covariances (Lemma 4).
+struct TripleEstimate {
+  data::WorkerId i = 0;
+  data::WorkerId j1 = 0;
+  data::WorkerId j2 = 0;
+
+  /// Agreement summaries for the three pairs.
+  PairAgreement q_i_j1;
+  PairAgreement q_i_j2;
+  PairAgreement q_j1_j2;
+
+  /// c_{i,j1,j2}: tasks attempted by all three.
+  size_t c_triple = 0;
+
+  /// p_{k,i}: estimated error rate of worker i from this triple.
+  double p = 0.0;
+  /// Dev_{k,i} from Theorem 1 with the Lemma 3 covariances.
+  double deviation = 0.0;
+
+  /// Partial derivatives of p with respect to (q_{i,j1}, q_{i,j2},
+  /// q_{j1,j2}) — Lemma 2.
+  double d_i_j1 = 0.0;
+  double d_i_j2 = 0.0;
+  double d_j1_j2 = 0.0;
+
+  /// Point error-rate estimates for the peer workers (needed by the
+  /// Lemma 3 cross covariances and reused by Lemma 4).
+  double p_j1 = 0.0;
+  double p_j2 = 0.0;
+
+  bool any_clamped = false;
+};
+
+/// \brief Evaluates worker `i` against peers `j1`, `j2`.
+/// Fails with InsufficientData when some pair shares no task.
+Result<TripleEstimate> EvaluateTriple(const data::OverlapIndex& overlap,
+                                      data::WorkerId i, data::WorkerId j1,
+                                      data::WorkerId j2,
+                                      const BinaryOptions& options);
+
+/// \brief The Lemma 3 covariance matrix of the triple's agreement
+/// rates, in the order (q_{i,j1}, q_{i,j2}, q_{j1,j2}).
+linalg::Matrix TripleCovariance(const TripleEstimate& t);
+
+/// \brief Algorithm A1: confidence intervals for all three workers of
+/// a (possibly non-regular) binary dataset with exactly 3 workers.
+Result<std::array<WorkerAssessment, 3>> ThreeWorkerEvaluate(
+    const data::ResponseMatrix& responses, const BinaryOptions& options);
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_THREE_WORKER_H_

@@ -1,0 +1,51 @@
+#include "core/triangulation.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowd::core {
+
+namespace {
+
+Status CheckDomain(double q_ij, double q_ik, double q_jk) {
+  for (double q : {q_ij, q_ik, q_jk}) {
+    if (!(q > 0.5 && q <= 1.0)) {
+      return Status::NumericalError(StrFormat(
+          "agreement rate %.6f outside the admissible (0.5, 1] domain "
+          "of the triangulation formula",
+          q));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> TriangulateErrorRate(double q_ij, double q_ik,
+                                    double q_jk) {
+  CROWD_RETURN_NOT_OK(CheckDomain(q_ij, q_ik, q_jk));
+  double ratio =
+      (2.0 * q_ij - 1.0) * (2.0 * q_ik - 1.0) / (2.0 * q_jk - 1.0);
+  return 0.5 - 0.5 * std::sqrt(ratio);
+}
+
+Result<Triangulation> TriangulateWithGradient(double q_ij, double q_ik,
+                                              double q_jk) {
+  CROWD_RETURN_NOT_OK(CheckDomain(q_ij, q_ik, q_jk));
+  Triangulation out;
+  const double a = q_ij - 0.5;
+  const double b = q_ik - 0.5;
+  const double c = q_jk - 0.5;
+  out.p = 0.5 - 0.5 * std::sqrt(4.0 * a * b / (2.0 * c));
+  // Lemma 2, rewritten with a = q_ij - 1/2 etc.:
+  //   df/dq_ij = -sqrt( b / (8 a c) )
+  //   df/dq_ik = -sqrt( a / (8 b c) )
+  //   df/dq_jk = +sqrt( a b / (8 c^3) )
+  out.d_q_ij = -std::sqrt(b / (8.0 * a * c));
+  out.d_q_ik = -std::sqrt(a / (8.0 * b * c));
+  out.d_q_jk = std::sqrt(a * b / (8.0 * c * c * c));
+  return out;
+}
+
+}  // namespace crowd::core

@@ -1,0 +1,38 @@
+// The triangulation function of Equation 1,
+//
+//   f(q_ij, q_ik, q_jk) = 1/2 - 1/2 sqrt( (2q_ij-1)(2q_ik-1) /
+//                                          (2q_jk-1) ),
+//
+// which maps the three pairwise agreement rates of a worker triple to
+// the error rate of worker i, together with its closed-form partial
+// derivatives (Lemma 2) needed by the delta method.
+
+#ifndef CROWD_CORE_TRIANGULATION_H_
+#define CROWD_CORE_TRIANGULATION_H_
+
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// \brief f evaluated at a point, with its gradient.
+struct Triangulation {
+  /// Estimated error rate of worker i.
+  double p = 0.0;
+  /// Lemma 2 partial derivatives.
+  double d_q_ij = 0.0;
+  double d_q_ik = 0.0;
+  double d_q_jk = 0.0;
+};
+
+/// \brief Point evaluation of f. All agreement rates must lie in
+/// (0.5, 1]; violations produce NumericalError (callers clamp first,
+/// see core/agreement.h).
+Result<double> TriangulateErrorRate(double q_ij, double q_ik, double q_jk);
+
+/// \brief f plus its gradient (Lemma 2).
+Result<Triangulation> TriangulateWithGradient(double q_ij, double q_ik,
+                                              double q_jk);
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_TRIANGULATION_H_

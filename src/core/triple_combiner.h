@@ -1,0 +1,59 @@
+// Step 3 of Algorithm A2: combining the per-triple estimates of one
+// worker's error rate into a single estimate.
+//
+//  * Lemma 4 gives the l x l covariance matrix of the per-triple
+//    estimates: diagonal entries are the per-triple variances; off-
+//    diagonal entries couple triples through the agreement rates that
+//    involve the evaluated worker (the peer pairs are disjoint across
+//    triples and contribute no covariance).
+//  * Lemma 5 gives the minimum-variance linear weights,
+//    A = C^{-1} 1 / (1^T C^{-1} 1).
+
+#ifndef CROWD_CORE_TRIPLE_COMBINER_H_
+#define CROWD_CORE_TRIPLE_COMBINER_H_
+
+#include <vector>
+
+#include "core/three_worker.h"
+#include "core/types.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::core {
+
+/// \brief The combined estimate for one worker.
+struct CombinedEstimate {
+  double p = 0.0;
+  double deviation = 0.0;
+  /// The weights actually used (optimal, or uniform on request or
+  /// fallback).
+  linalg::Vector weights;
+  /// True when the Lemma 5 system was ill-conditioned and the combiner
+  /// fell back to uniform weights.
+  bool used_fallback_weights = false;
+};
+
+/// \brief The Lemma 4 covariance matrix of the per-triple estimates.
+/// All triples must evaluate the same worker.
+Result<linalg::Matrix> CrossTripleCovariance(
+    const std::vector<TripleEstimate>& triples,
+    const data::OverlapIndex& overlap, const BinaryOptions& options);
+
+/// \brief Lemma 5: weights minimizing a^T C a subject to sum(a) = 1.
+/// Falls back to uniform weights (flagged via the bool) when C is
+/// singular even after ridge regularization.
+struct WeightSolution {
+  linalg::Vector weights;
+  bool used_fallback = false;
+};
+WeightSolution MinimumVarianceWeights(const linalg::Matrix& covariance,
+                                      double ridge);
+
+/// \brief Full Step 3: covariance, weights, combined estimate.
+Result<CombinedEstimate> CombineTriples(
+    const std::vector<TripleEstimate>& triples,
+    const data::OverlapIndex& overlap, const BinaryOptions& options);
+
+}  // namespace crowd::core
+
+#endif  // CROWD_CORE_TRIPLE_COMBINER_H_

@@ -1,0 +1,88 @@
+#include "data/dataset.h"
+
+#include "util/string_util.h"
+
+namespace crowd::data {
+
+Status Dataset::SetGold(TaskId t, Response truth) {
+  if (t >= responses_.num_tasks()) {
+    return Status::Invalid(StrFormat("gold task id %zu out of range", t));
+  }
+  if (truth < 0 || truth >= responses_.arity()) {
+    return Status::Invalid(
+        StrFormat("gold label %d outside [0, %d)", truth,
+                  responses_.arity()));
+  }
+  gold_[t] = truth;
+  return Status::OK();
+}
+
+size_t Dataset::GoldCount() const {
+  size_t count = 0;
+  for (Response g : gold_) {
+    if (g != kNoGold) ++count;
+  }
+  return count;
+}
+
+Result<double> Dataset::ProxyErrorRate(WorkerId w) const {
+  if (w >= responses_.num_workers()) {
+    return Status::Invalid(StrFormat("worker id %zu out of range", w));
+  }
+  int attempted = 0;
+  int wrong = 0;
+  for (TaskId t = 0; t < responses_.num_tasks(); ++t) {
+    if (!HasGold(t)) continue;
+    auto r = responses_.Get(w, t);
+    if (!r.has_value()) continue;
+    ++attempted;
+    if (*r != gold_[t]) ++wrong;
+  }
+  if (attempted == 0) {
+    return Status::InsufficientData(StrFormat(
+        "worker %zu answered no gold-labeled tasks", w));
+  }
+  return static_cast<double>(wrong) / attempted;
+}
+
+Result<Dataset::ProxyMatrix> Dataset::ProxyResponseMatrix(WorkerId w) const {
+  if (w >= responses_.num_workers()) {
+    return Status::Invalid(StrFormat("worker id %zu out of range", w));
+  }
+  const int k = responses_.arity();
+  ProxyMatrix out;
+  out.probabilities.assign(k, std::vector<double>(k, 0.0));
+  out.row_counts.assign(k, 0);
+  for (TaskId t = 0; t < responses_.num_tasks(); ++t) {
+    if (!HasGold(t)) continue;
+    auto r = responses_.Get(w, t);
+    if (!r.has_value()) continue;
+    int truth = gold_[t];
+    ++out.row_counts[truth];
+    out.probabilities[truth][*r] += 1.0;
+  }
+  bool any = false;
+  for (int j1 = 0; j1 < k; ++j1) {
+    if (out.row_counts[j1] == 0) continue;
+    any = true;
+    for (int j2 = 0; j2 < k; ++j2) {
+      out.probabilities[j1][j2] /= out.row_counts[j1];
+    }
+  }
+  if (!any) {
+    return Status::InsufficientData(StrFormat(
+        "worker %zu answered no gold-labeled tasks", w));
+  }
+  return out;
+}
+
+std::string Dataset::Summary() const {
+  return StrFormat(
+      "%s: %zu workers x %zu tasks, arity %d, %zu responses "
+      "(density %.3f), %zu gold labels",
+      name_.c_str(), responses_.num_workers(), responses_.num_tasks(),
+      responses_.arity(), responses_.TotalResponses(),
+      responses_.Density(), GoldCount());
+}
+
+}  // namespace crowd::data

@@ -1,0 +1,75 @@
+// A Dataset bundles a ResponseMatrix with (optional) gold-standard
+// labels and per-worker proxy truths. The evaluation protocol of the
+// paper uses gold labels only to *score* the confidence intervals — the
+// estimators themselves never see them.
+
+#ifndef CROWD_DATA_DATASET_H_
+#define CROWD_DATA_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "util/result.h"
+
+namespace crowd::data {
+
+/// \brief Responses plus optional ground truth.
+class Dataset {
+ public:
+  Dataset(std::string name, ResponseMatrix responses)
+      : name_(std::move(name)),
+        responses_(std::move(responses)),
+        gold_(responses_.num_tasks(), kNoGold) {}
+
+  const std::string& name() const { return name_; }
+  const ResponseMatrix& responses() const { return responses_; }
+  ResponseMatrix* mutable_responses() { return &responses_; }
+
+  /// Records the gold label of task `t`.
+  Status SetGold(TaskId t, Response truth);
+
+  bool HasGold(TaskId t) const {
+    return t < gold_.size() && gold_[t] != kNoGold;
+  }
+
+  std::optional<Response> Gold(TaskId t) const {
+    if (!HasGold(t)) return std::nullopt;
+    return gold_[t];
+  }
+
+  /// Number of tasks with a gold label.
+  size_t GoldCount() const;
+
+  /// \brief The paper's proxy for a binary worker's true error rate:
+  /// the fraction of the worker's gold-labeled responses that are
+  /// wrong. Fails when the worker answered no gold-labeled task.
+  Result<double> ProxyErrorRate(WorkerId w) const;
+
+  /// \brief The k-ary analogue: proxy response-probability matrix,
+  /// entry (j1, j2) = fraction of tasks with gold j1 that the worker
+  /// answered j2. Rows with zero gold-labeled responses are flagged in
+  /// `row_counts` (entry 0) and left as all-zero.
+  struct ProxyMatrix {
+    /// arity x arity row-stochastic (where counts allow).
+    std::vector<std::vector<double>> probabilities;
+    /// Number of gold-labeled responses backing each row.
+    std::vector<int> row_counts;
+  };
+  Result<ProxyMatrix> ProxyResponseMatrix(WorkerId w) const;
+
+  /// \brief Human-readable shape/density summary.
+  std::string Summary() const;
+
+ private:
+  static constexpr Response kNoGold = -1;
+
+  std::string name_;
+  ResponseMatrix responses_;
+  std::vector<Response> gold_;
+};
+
+}  // namespace crowd::data
+
+#endif  // CROWD_DATA_DATASET_H_

@@ -1,0 +1,124 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace crowd::data {
+
+namespace {
+
+struct ResponseRow {
+  size_t worker;
+  size_t task;
+  int response;
+};
+
+Result<std::vector<ResponseRow>> ParseResponseRows(const CsvTable& table) {
+  CROWD_ASSIGN_OR_RETURN(size_t wcol, table.ColumnIndex("worker"));
+  CROWD_ASSIGN_OR_RETURN(size_t tcol, table.ColumnIndex("task"));
+  CROWD_ASSIGN_OR_RETURN(size_t rcol, table.ColumnIndex("response"));
+  std::vector<ResponseRow> rows;
+  rows.reserve(table.rows.size());
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    CROWD_ASSIGN_OR_RETURN(long long w, ParseInt(row[wcol]));
+    CROWD_ASSIGN_OR_RETURN(long long t, ParseInt(row[tcol]));
+    CROWD_ASSIGN_OR_RETURN(long long r, ParseInt(row[rcol]));
+    if (w < 0 || t < 0 || r < 0) {
+      return Status::IoError(
+          StrFormat("negative id in responses row %zu", i + 1));
+    }
+    rows.push_back({static_cast<size_t>(w), static_cast<size_t>(t),
+                    static_cast<int>(r)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& dataset,
+                      const std::string& responses_path,
+                      const std::string& gold_path) {
+  const ResponseMatrix& r = dataset.responses();
+  CsvTable responses;
+  responses.header = {"worker", "task", "response"};
+  for (WorkerId w = 0; w < r.num_workers(); ++w) {
+    for (TaskId t = 0; t < r.num_tasks(); ++t) {
+      auto resp = r.Get(w, t);
+      if (!resp.has_value()) continue;
+      responses.rows.push_back({StrFormat("%zu", w), StrFormat("%zu", t),
+                                StrFormat("%d", *resp)});
+    }
+  }
+  CROWD_RETURN_NOT_OK(WriteCsvFile(responses, responses_path));
+
+  if (!gold_path.empty()) {
+    CsvTable gold;
+    gold.header = {"task", "truth"};
+    for (TaskId t = 0; t < r.num_tasks(); ++t) {
+      auto truth = dataset.Gold(t);
+      if (!truth.has_value()) continue;
+      gold.rows.push_back({StrFormat("%zu", t), StrFormat("%d", *truth)});
+    }
+    CROWD_RETURN_NOT_OK(WriteCsvFile(gold, gold_path));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& name,
+                               const std::string& responses_path,
+                               const std::string& gold_path,
+                               const LoadOptions& options) {
+  CROWD_ASSIGN_OR_RETURN(auto table, ReadCsvFile(responses_path));
+  CROWD_ASSIGN_OR_RETURN(auto rows, ParseResponseRows(table));
+  if (rows.empty()) {
+    return Status::IoError("responses file has no data rows: " +
+                           responses_path);
+  }
+
+  size_t num_workers = options.num_workers;
+  size_t num_tasks = options.num_tasks;
+  int arity = options.arity;
+  for (const auto& row : rows) {
+    num_workers = std::max(num_workers, row.worker + 1);
+    num_tasks = std::max(num_tasks, row.task + 1);
+    if (arity == 0 || options.arity == 0) {
+      arity = std::max(arity, row.response + 1);
+    }
+  }
+  arity = std::max(arity, 2);
+
+  ResponseMatrix matrix(num_workers, num_tasks, arity);
+  for (const auto& row : rows) {
+    auto existing = matrix.Get(row.worker, row.task);
+    if (existing.has_value() && *existing != row.response) {
+      return Status::IoError(StrFormat(
+          "conflicting duplicate response for worker %zu task %zu",
+          row.worker, row.task));
+    }
+    CROWD_RETURN_NOT_OK(
+        matrix.Set(row.worker, row.task, row.response));
+  }
+
+  Dataset dataset(name, std::move(matrix));
+
+  if (!gold_path.empty()) {
+    CROWD_ASSIGN_OR_RETURN(auto gold_table, ReadCsvFile(gold_path));
+    CROWD_ASSIGN_OR_RETURN(size_t tcol, gold_table.ColumnIndex("task"));
+    CROWD_ASSIGN_OR_RETURN(size_t gcol, gold_table.ColumnIndex("truth"));
+    for (const auto& row : gold_table.rows) {
+      CROWD_ASSIGN_OR_RETURN(long long t, ParseInt(row[tcol]));
+      CROWD_ASSIGN_OR_RETURN(long long g, ParseInt(row[gcol]));
+      if (t < 0 || g < 0) {
+        return Status::IoError("negative id in gold file");
+      }
+      CROWD_RETURN_NOT_OK(dataset.SetGold(static_cast<size_t>(t),
+                                          static_cast<int>(g)));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace crowd::data

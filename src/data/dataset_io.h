@@ -1,0 +1,44 @@
+// Dataset serialization. The on-disk format is two CSV files:
+//
+//   responses: header "worker,task,response", one row per response;
+//   gold:      header "task,truth", one row per gold-labeled task.
+//
+// Worker/task ids are dense 0-based integers. The same format is used
+// by the bundled synthetic paper-analogue datasets in data/.
+
+#ifndef CROWD_DATA_DATASET_IO_H_
+#define CROWD_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace crowd::data {
+
+/// \brief Writes `dataset` to `responses_path` (+ `gold_path` when
+/// non-empty; gold rows are emitted only for labeled tasks).
+Status SaveDatasetCsv(const Dataset& dataset,
+                      const std::string& responses_path,
+                      const std::string& gold_path = "");
+
+/// Options for LoadDatasetCsv.
+struct LoadOptions {
+  /// Response arity. 0 means "infer as max(response)+1 (at least 2)".
+  int arity = 0;
+  /// Number of workers/tasks; 0 means "infer as max(id)+1".
+  size_t num_workers = 0;
+  size_t num_tasks = 0;
+};
+
+/// \brief Loads a dataset; `gold_path` may be empty (no gold labels).
+/// Malformed rows, out-of-range labels and duplicate (worker, task)
+/// pairs with conflicting responses produce IoError.
+Result<Dataset> LoadDatasetCsv(const std::string& name,
+                               const std::string& responses_path,
+                               const std::string& gold_path = "",
+                               const LoadOptions& options = {});
+
+}  // namespace crowd::data
+
+#endif  // CROWD_DATA_DATASET_IO_H_

@@ -1,0 +1,111 @@
+#include "data/overlap_index.h"
+
+#include <bit>
+
+#include "util/string_util.h"
+
+namespace crowd::data {
+
+OverlapIndex::OverlapIndex(const ResponseMatrix& responses)
+    : responses_(responses),
+      num_workers_(responses.num_workers()),
+      words_per_worker_((responses.num_tasks() + 63) / 64),
+      attempt_bits_(num_workers_ * words_per_worker_, 0),
+      pair_common_(num_workers_ * num_workers_, 0),
+      pair_agree_(num_workers_ * num_workers_, 0) {
+  const size_t n = responses.num_tasks();
+  for (WorkerId w = 0; w < num_workers_; ++w) {
+    uint64_t* bits = attempt_bits_.data() + w * words_per_worker_;
+    for (TaskId t = 0; t < n; ++t) {
+      if (responses.Has(w, t)) bits[t / 64] |= uint64_t{1} << (t % 64);
+    }
+  }
+  for (WorkerId i = 0; i < num_workers_; ++i) {
+    for (WorkerId j = i; j < num_workers_; ++j) {
+      size_t common = 0;
+      size_t agree = 0;
+      for (TaskId t = 0; t < n; ++t) {
+        auto ri = responses.Get(i, t);
+        if (!ri.has_value()) continue;
+        auto rj = responses.Get(j, t);
+        if (!rj.has_value()) continue;
+        ++common;
+        if (*ri == *rj) ++agree;
+      }
+      pair_common_[Index(i, j)] = pair_common_[Index(j, i)] = common;
+      pair_agree_[Index(i, j)] = pair_agree_[Index(j, i)] = agree;
+    }
+  }
+}
+
+Result<double> OverlapIndex::AgreementRate(WorkerId i, WorkerId j) const {
+  size_t common = CommonCount(i, j);
+  if (common == 0) {
+    return Status::InsufficientData(StrFormat(
+        "workers %zu and %zu have no tasks in common", i, j));
+  }
+  return static_cast<double>(AgreementCount(i, j)) /
+         static_cast<double>(common);
+}
+
+Status OverlapIndex::ApplyResponse(WorkerId w, TaskId t,
+                                   std::optional<Response> previous) {
+  if (w >= num_workers_ || t >= responses_.num_tasks()) {
+    return Status::Invalid("ApplyResponse: index out of range");
+  }
+  auto current = responses_.Get(w, t);
+  if (!current.has_value()) {
+    return Status::Invalid(
+        "ApplyResponse must be called after the response was set");
+  }
+  const bool newly_attempted = !previous.has_value();
+  if (!newly_attempted && *previous == *current) return Status::OK();
+
+  for (WorkerId v = 0; v < num_workers_; ++v) {
+    if (v == w) continue;
+    auto rv = responses_.Get(v, t);
+    if (!rv.has_value()) continue;
+    size_t idx = Index(w, v);
+    size_t idx_t = Index(v, w);
+    if (newly_attempted) {
+      ++pair_common_[idx];
+      ++pair_common_[idx_t];
+      if (*rv == *current) {
+        ++pair_agree_[idx];
+        ++pair_agree_[idx_t];
+      }
+    } else {
+      // Overwrite: common count unchanged, agreement may flip.
+      if (*rv == *previous && *rv != *current) {
+        --pair_agree_[idx];
+        --pair_agree_[idx_t];
+      } else if (*rv != *previous && *rv == *current) {
+        ++pair_agree_[idx];
+        ++pair_agree_[idx_t];
+      }
+    }
+  }
+  if (newly_attempted) {
+    // Self counts track the worker's attempted-task total.
+    ++pair_common_[Index(w, w)];
+    ++pair_agree_[Index(w, w)];
+    attempt_bits_[w * words_per_worker_ + t / 64] |= uint64_t{1}
+                                                     << (t % 64);
+  }
+  return Status::OK();
+}
+
+size_t OverlapIndex::TripleCommonCount(WorkerId i, WorkerId j,
+                                       WorkerId k) const {
+  CROWD_DCHECK(i < num_workers_ && j < num_workers_ && k < num_workers_);
+  const uint64_t* a = attempt_bits_.data() + i * words_per_worker_;
+  const uint64_t* b = attempt_bits_.data() + j * words_per_worker_;
+  const uint64_t* c = attempt_bits_.data() + k * words_per_worker_;
+  size_t count = 0;
+  for (size_t word = 0; word < words_per_worker_; ++word) {
+    count += std::popcount(a[word] & b[word] & c[word]);
+  }
+  return count;
+}
+
+}  // namespace crowd::data

@@ -1,0 +1,72 @@
+// Precomputed co-attempt statistics over a ResponseMatrix:
+//   c_ij   — tasks attempted by both workers i and j,
+//   a_ij   — of those, tasks where their responses agree,
+//   c_ijk  — tasks attempted by all of i, j, k (bitset popcount).
+// These are the raw ingredients of the agreement rates q_ij and of the
+// Lemma 3 / Lemma 4 covariance formulas. Triple counts are needed for
+// every pair of triples in Algorithm A2's combination step, so they
+// are computed from per-worker attempt bitmasks (O(n/64) each) rather
+// than by scanning tasks.
+
+#ifndef CROWD_DATA_OVERLAP_INDEX_H_
+#define CROWD_DATA_OVERLAP_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/response_matrix.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace crowd::data {
+
+/// \brief Pairwise co-attempt and agreement counts, O(m^2 n) to build.
+class OverlapIndex {
+ public:
+  explicit OverlapIndex(const ResponseMatrix& responses);
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// c_ij: number of tasks attempted by both i and j.
+  size_t CommonCount(WorkerId i, WorkerId j) const {
+    return pair_common_[Index(i, j)];
+  }
+
+  /// Number of common tasks with equal responses.
+  size_t AgreementCount(WorkerId i, WorkerId j) const {
+    return pair_agree_[Index(i, j)];
+  }
+
+  /// q_ij estimate = agreements / common tasks; fails when c_ij == 0.
+  Result<double> AgreementRate(WorkerId i, WorkerId j) const;
+
+  /// c_ijk: number of tasks attempted by all three workers. O(n/64).
+  size_t TripleCommonCount(WorkerId i, WorkerId j, WorkerId k) const;
+
+  /// \brief Incrementally accounts for worker `w`'s response to task
+  /// `t` having just been set in the underlying matrix (call *after*
+  /// ResponseMatrix::Set). `previous` is the response the cell held
+  /// before, or nullopt when it was missing. O(m) per update — the
+  /// incremental-evaluation mode of the paper's conclusion.
+  Status ApplyResponse(WorkerId w, TaskId t,
+                       std::optional<Response> previous);
+
+ private:
+  size_t Index(WorkerId i, WorkerId j) const {
+    CROWD_DCHECK(i < num_workers_ && j < num_workers_);
+    return i * num_workers_ + j;
+  }
+
+  const ResponseMatrix& responses_;
+  size_t num_workers_;
+  size_t words_per_worker_;
+  /// Per-worker attempt bitmask, concatenated.
+  std::vector<uint64_t> attempt_bits_;
+  std::vector<size_t> pair_common_;
+  std::vector<size_t> pair_agree_;
+};
+
+}  // namespace crowd::data
+
+#endif  // CROWD_DATA_OVERLAP_INDEX_H_

@@ -1,0 +1,99 @@
+#include "data/response_matrix.h"
+
+#include "util/string_util.h"
+
+namespace crowd::data {
+
+ResponseMatrix::ResponseMatrix(size_t num_workers, size_t num_tasks,
+                               int arity)
+    : num_workers_(num_workers),
+      num_tasks_(num_tasks),
+      arity_(arity),
+      cells_(num_workers * num_tasks, kMissing) {
+  CROWD_CHECK_GE(arity, 2);
+  CROWD_CHECK_LE(arity, 32767);
+}
+
+Status ResponseMatrix::Set(WorkerId w, TaskId t, Response r) {
+  if (w >= num_workers_ || t >= num_tasks_) {
+    return Status::Invalid(StrFormat(
+        "response index (%zu, %zu) out of range (%zu workers, %zu tasks)",
+        w, t, num_workers_, num_tasks_));
+  }
+  if (r < 0 || r >= arity_) {
+    return Status::Invalid(
+        StrFormat("response %d outside [0, %d)", r, arity_));
+  }
+  int16_t& cell = At(w, t);
+  if (cell == kMissing) ++total_responses_;
+  cell = static_cast<int16_t>(r);
+  return Status::OK();
+}
+
+void ResponseMatrix::Clear(WorkerId w, TaskId t) {
+  int16_t& cell = At(w, t);
+  if (cell != kMissing) {
+    --total_responses_;
+    cell = kMissing;
+  }
+}
+
+size_t ResponseMatrix::WorkerResponseCount(WorkerId w) const {
+  size_t count = 0;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (Has(w, t)) ++count;
+  }
+  return count;
+}
+
+size_t ResponseMatrix::TaskResponseCount(TaskId t) const {
+  size_t count = 0;
+  for (WorkerId w = 0; w < num_workers_; ++w) {
+    if (Has(w, t)) ++count;
+  }
+  return count;
+}
+
+double ResponseMatrix::Density() const {
+  if (num_workers_ == 0 || num_tasks_ == 0) return 0.0;
+  return static_cast<double>(total_responses_) /
+         (static_cast<double>(num_workers_) *
+          static_cast<double>(num_tasks_));
+}
+
+std::vector<TaskId> ResponseMatrix::TasksOf(WorkerId w) const {
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (Has(w, t)) tasks.push_back(t);
+  }
+  return tasks;
+}
+
+std::vector<TaskId> ResponseMatrix::CommonTasks(WorkerId a,
+                                                WorkerId b) const {
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (Has(a, t) && Has(b, t)) tasks.push_back(t);
+  }
+  return tasks;
+}
+
+Result<ResponseMatrix> ResponseMatrix::SelectWorkers(
+    const std::vector<WorkerId>& workers) const {
+  ResponseMatrix out(workers.size(), num_tasks_, arity_);
+  for (size_t i = 0; i < workers.size(); ++i) {
+    if (workers[i] >= num_workers_) {
+      return Status::Invalid(
+          StrFormat("worker id %zu out of range", workers[i]));
+    }
+    for (TaskId t = 0; t < num_tasks_; ++t) {
+      auto r = Get(workers[i], t);
+      if (r.has_value()) {
+        CROWD_RETURN_NOT_OK(out.Set(i, t, *r));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace crowd::data

@@ -1,0 +1,25 @@
+#include "experiments/metrics.h"
+
+namespace crowd::experiments {
+
+void IntervalScore::Add(const stats::ConfidenceInterval& interval,
+                        double truth) {
+  ++total_;
+  if (interval.Contains(truth)) ++covered_;
+  sizes_.Add(interval.size());
+}
+
+double IntervalScore::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(covered_) / static_cast<double>(total_);
+}
+
+double IntervalScore::MeanSize() const { return sizes_.mean(); }
+
+void IntervalScore::Merge(const IntervalScore& other) {
+  total_ += other.total_;
+  covered_ += other.covered_;
+  sizes_.Merge(other.sizes_);
+}
+
+}  // namespace crowd::experiments

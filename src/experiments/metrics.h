@@ -1,0 +1,41 @@
+// Scoring metrics for confidence intervals, as defined by the paper's
+// evaluation protocol:
+//   interval-accuracy — fraction of intervals containing the true
+//     value (should match the nominal confidence; the y = x line in
+//     the accuracy figures);
+//   average interval size — hi - lo, averaged over all intervals.
+
+#ifndef CROWD_EXPERIMENTS_METRICS_H_
+#define CROWD_EXPERIMENTS_METRICS_H_
+
+#include "stats/descriptive.h"
+#include "stats/intervals.h"
+
+namespace crowd::experiments {
+
+/// \brief Accumulates coverage and size over many intervals.
+class IntervalScore {
+ public:
+  /// Scores one interval against the true value it targets.
+  void Add(const stats::ConfidenceInterval& interval, double truth);
+
+  size_t total() const { return total_; }
+  size_t covered() const { return covered_; }
+
+  /// covered / total; 0 when empty.
+  double Accuracy() const;
+
+  /// Mean of interval sizes; 0 when empty.
+  double MeanSize() const;
+
+  void Merge(const IntervalScore& other);
+
+ private:
+  size_t total_ = 0;
+  size_t covered_ = 0;
+  stats::RunningStat sizes_;
+};
+
+}  // namespace crowd::experiments
+
+#endif  // CROWD_EXPERIMENTS_METRICS_H_

@@ -1,0 +1,26 @@
+#include "experiments/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace crowd::experiments {
+
+std::string OutputDirectory() {
+  const char* env = std::getenv("CROWDEVAL_OUT");
+  return env != nullptr && env[0] != '\0' ? env : ".";
+}
+
+void EmitFigure(const Figure& figure) {
+  std::fputs(RenderTable(figure).c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+  Status status = WriteGnuplotData(figure, OutputDirectory());
+  if (!status.ok()) {
+    CROWD_LOG_WARNING << "could not write " << figure.name
+                      << ".dat: " << status.ToString();
+  }
+}
+
+}  // namespace crowd::experiments

@@ -1,0 +1,23 @@
+// Figure emission: prints the console table and writes the gnuplot
+// .dat file into the output directory (CROWDEVAL_OUT or cwd).
+
+#ifndef CROWD_EXPERIMENTS_REPORT_H_
+#define CROWD_EXPERIMENTS_REPORT_H_
+
+#include <string>
+
+#include "experiments/series.h"
+
+namespace crowd::experiments {
+
+/// \brief Where .dat files go: $CROWDEVAL_OUT if set, else ".".
+std::string OutputDirectory();
+
+/// \brief Prints the table to stdout and writes <out>/<name>.dat.
+/// I/O failures are logged, not fatal (the printed table remains the
+/// primary artifact).
+void EmitFigure(const Figure& figure);
+
+}  // namespace crowd::experiments
+
+#endif  // CROWD_EXPERIMENTS_REPORT_H_

@@ -1,0 +1,57 @@
+#include "experiments/runner.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowd::experiments {
+
+int ResolveReps(int default_reps, int argc, const char* const* argv) {
+  int reps = default_reps;
+  if (const char* env = std::getenv("CROWDEVAL_REPS")) {
+    auto parsed = ParseInt(env);
+    if (parsed.ok() && *parsed > 0) {
+      reps = static_cast<int>(*parsed);
+    } else {
+      CROWD_LOG_WARNING << "ignoring invalid CROWDEVAL_REPS='" << env
+                        << "'";
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--reps=", 7) == 0) {
+      auto parsed = ParseInt(arg + 7);
+      if (parsed.ok() && *parsed > 0) {
+        reps = static_cast<int>(*parsed);
+      } else {
+        CROWD_LOG_WARNING << "ignoring invalid " << arg;
+      }
+    }
+  }
+  return reps;
+}
+
+void RepeatTrials(int reps, uint64_t seed,
+                  const std::function<void(int, Random*)>& fn) {
+  Random root(seed);
+  for (int trial = 0; trial < reps; ++trial) {
+    Random stream = root.Fork();
+    fn(trial, &stream);
+  }
+}
+
+std::vector<double> ConfidenceGrid() {
+  std::vector<double> grid;
+  for (int i = 1; i <= 19; ++i) grid.push_back(0.05 * i);
+  return grid;
+}
+
+std::vector<double> DensityGrid() {
+  std::vector<double> grid;
+  for (int i = 0; i <= 9; ++i) grid.push_back(0.5 + 0.05 * i);
+  return grid;
+}
+
+}  // namespace crowd::experiments

@@ -1,0 +1,43 @@
+// Repetition driver for the synthetic experiments: deterministic
+// seeding, environment/CLI-controlled repetition counts, and the
+// standard confidence-level sweep the paper uses.
+
+#ifndef CROWD_EXPERIMENTS_RUNNER_H_
+#define CROWD_EXPERIMENTS_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace crowd::experiments {
+
+/// \brief Repetition configuration shared by the figure benches.
+struct RunConfig {
+  /// Trials per configuration. The paper uses 500; the benches default
+  /// lower so the full suite stays fast, and scale up via
+  /// CROWDEVAL_REPS or --reps.
+  int reps = 120;
+  uint64_t seed = 20150412;  // Arbitrary fixed default.
+};
+
+/// \brief Resolves the repetition count: `--reps=N` in (argc, argv)
+/// wins, then the CROWDEVAL_REPS environment variable, then
+/// `default_reps`.
+int ResolveReps(int default_reps, int argc = 0,
+                const char* const* argv = nullptr);
+
+/// \brief Calls fn(trial_index, &rng) `reps` times, each trial with an
+/// independently forked RNG stream, deterministically in `seed`.
+void RepeatTrials(int reps, uint64_t seed,
+                  const std::function<void(int, Random*)>& fn);
+
+/// \brief The paper's confidence-level grid {0.05, 0.10, ..., 0.95}.
+std::vector<double> ConfidenceGrid();
+
+/// \brief The paper's density grid {0.5, 0.55, ..., 0.95}.
+std::vector<double> DensityGrid();
+
+}  // namespace crowd::experiments
+
+#endif  // CROWD_EXPERIMENTS_RUNNER_H_

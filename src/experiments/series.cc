@@ -1,0 +1,119 @@
+#include "experiments/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace crowd::experiments {
+
+namespace {
+
+// Collects the sorted union of x values across all series and a lookup
+// from (series, x) to y.
+struct Grid {
+  std::vector<double> xs;
+  // One map per series: x -> y.
+  std::vector<std::map<double, double>> lookup;
+};
+
+Grid BuildGrid(const Figure& figure) {
+  Grid grid;
+  std::set<double> xs;
+  grid.lookup.resize(figure.series.size());
+  for (size_t s = 0; s < figure.series.size(); ++s) {
+    for (const auto& point : figure.series[s].points) {
+      xs.insert(point.x);
+      grid.lookup[s][point.x] = point.y;
+    }
+  }
+  grid.xs.assign(xs.begin(), xs.end());
+  return grid;
+}
+
+}  // namespace
+
+void Figure::AddPoint(const std::string& label, double x, double y) {
+  for (auto& existing : series) {
+    if (existing.label == label) {
+      existing.points.push_back({x, y});
+      return;
+    }
+  }
+  series.push_back({label, {{x, y}}});
+}
+
+std::string RenderTable(const Figure& figure, int precision) {
+  Grid grid = BuildGrid(figure);
+  std::vector<std::vector<std::string>> cells;
+
+  std::vector<std::string> header;
+  header.push_back(figure.x_label.empty() ? "x" : figure.x_label);
+  for (const auto& s : figure.series) header.push_back(s.label);
+  cells.push_back(header);
+
+  for (double x : grid.xs) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%.*g", precision + 2, x));
+    for (size_t s = 0; s < figure.series.size(); ++s) {
+      auto it = grid.lookup[s].find(x);
+      row.push_back(it == grid.lookup[s].end()
+                        ? "-"
+                        : StrFormat("%.*f", precision, it->second));
+    }
+    cells.push_back(row);
+  }
+
+  // Column widths.
+  std::vector<size_t> widths(header.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  out += "== " + figure.name + ": " + figure.title + " ==\n";
+  if (!figure.y_label.empty()) out += "(y: " + figure.y_label + ")\n";
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      // Right-align numbers under their header.
+      out += StrFormat("%*s", static_cast<int>(widths[c]),
+                       cells[r][c].c_str());
+    }
+    out += "\n";
+    if (r == 0) {
+      size_t rule = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        rule += widths[c] + (c > 0 ? 2 : 0);
+      }
+      out += std::string(rule, '-') + "\n";
+    }
+  }
+  return out;
+}
+
+Status WriteGnuplotData(const Figure& figure, const std::string& dir) {
+  Grid grid = BuildGrid(figure);
+  std::string text = "# " + figure.name + ": " + figure.title + "\n";
+  text += "# x";
+  for (const auto& s : figure.series) text += "\t" + s.label;
+  text += "\n";
+  for (double x : grid.xs) {
+    text += StrFormat("%.10g", x);
+    for (size_t s = 0; s < figure.series.size(); ++s) {
+      auto it = grid.lookup[s].find(x);
+      text += it == grid.lookup[s].end()
+                  ? "\tnan"
+                  : StrFormat("\t%.10g", it->second);
+    }
+    text += "\n";
+  }
+  return WriteStringToFile(text, dir + "/" + figure.name + ".dat");
+}
+
+}  // namespace crowd::experiments

@@ -1,0 +1,50 @@
+// Figure data containers: named series of (x, y) points, renderable as
+// an aligned console table and as gnuplot-ready .dat files — the
+// benches reproduce every figure of the paper through this type.
+
+#ifndef CROWD_EXPERIMENTS_SERIES_H_
+#define CROWD_EXPERIMENTS_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowd::experiments {
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// \brief One plotted line.
+struct Series {
+  std::string label;
+  std::vector<SeriesPoint> points;
+};
+
+/// \brief One figure panel of the paper.
+struct Figure {
+  /// Short id, e.g. "fig2a"; used as the .dat file stem.
+  std::string name;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<Series> series;
+
+  /// Adds a point to the series with the given label, creating it on
+  /// first use.
+  void AddPoint(const std::string& label, double x, double y);
+};
+
+/// \brief Renders the figure as an aligned console table (x column
+/// plus one column per series; missing cells render as "-").
+std::string RenderTable(const Figure& figure, int precision = 4);
+
+/// \brief Writes `<dir>/<name>.dat`: a gnuplot-ready whitespace table
+/// with a comment header naming the columns.
+Status WriteGnuplotData(const Figure& figure, const std::string& dir);
+
+}  // namespace crowd::experiments
+
+#endif  // CROWD_EXPERIMENTS_SERIES_H_

@@ -1,0 +1,86 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowd::linalg {
+
+Result<CholeskyDecomposition> CholeskyDecomposition::Compute(
+    const Matrix& a, double pivot_tol) {
+  if (!a.IsSquare()) {
+    return Status::Invalid("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  if (n == 0) return Status::Invalid("Cholesky of an empty matrix");
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::Invalid("Cholesky requires a symmetric matrix");
+  }
+
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > pivot_tol)) {
+      return Status::NumericalError(StrFormat(
+          "Cholesky: matrix is not positive definite (pivot %.3e at "
+          "column %zu)",
+          diag, j));
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return CholeskyDecomposition(std::move(l));
+}
+
+Result<Vector> CholeskyDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  if (b.size() != n) {
+    return Status::Invalid("Cholesky solve: dimension mismatch");
+  }
+  // Forward: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Backward: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> CholeskyDecomposition::Inverse() const {
+  const size_t n = size();
+  Matrix inverse(n, n);
+  Vector unit(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    unit[j] = 1.0;
+    CROWD_ASSIGN_OR_RETURN(Vector column, Solve(unit));
+    unit[j] = 0.0;
+    for (size_t i = 0; i < n; ++i) inverse(i, j) = column[i];
+  }
+  return inverse;
+}
+
+double CholeskyDecomposition::Determinant() const {
+  double det = 1.0;
+  for (size_t i = 0; i < size(); ++i) det *= l_(i, i);
+  return det * det;
+}
+
+bool IsPositiveDefinite(const Matrix& a) {
+  return CholeskyDecomposition::Compute(a).ok();
+}
+
+}  // namespace crowd::linalg

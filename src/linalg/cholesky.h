@@ -1,0 +1,51 @@
+// Cholesky factorization A = L L^T for symmetric positive-definite
+// matrices, with solve and inverse. Used by the Lemma 5 weight solver:
+// covariance matrices are symmetric and (up to estimation noise) PSD,
+// and the factorization doubles as the cheapest PSD test — when it
+// fails, the caller knows the plug-in covariance is not PSD and can
+// regularize harder or fall back.
+
+#ifndef CROWD_LINALG_CHOLESKY_H_
+#define CROWD_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::linalg {
+
+/// \brief A = L L^T with L lower-triangular, positive diagonal.
+class CholeskyDecomposition {
+ public:
+  /// Factorizes symmetric positive-definite `a`; fails with
+  /// NumericalError when a pivot drops below `pivot_tol` (matrix not
+  /// PD to working precision) and InvalidArgument when `a` is not
+  /// square/symmetric.
+  static Result<CholeskyDecomposition> Compute(const Matrix& a,
+                                               double pivot_tol = 1e-300);
+
+  /// Solves A x = b via two triangular solves.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// A^{-1}.
+  Result<Matrix> Inverse() const;
+
+  /// det(A) = prod(L_ii)^2.
+  double Determinant() const;
+
+  /// The factor L.
+  const Matrix& L() const { return l_; }
+
+  size_t size() const { return l_.rows(); }
+
+ private:
+  explicit CholeskyDecomposition(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// \brief True when `a` is symmetric positive-definite to working
+/// precision (Cholesky succeeds).
+bool IsPositiveDefinite(const Matrix& a);
+
+}  // namespace crowd::linalg
+
+#endif  // CROWD_LINALG_CHOLESKY_H_

@@ -1,0 +1,117 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/francis_qr.h"
+#include "linalg/lu.h"
+#include "util/string_util.h"
+
+namespace crowd::linalg {
+
+namespace {
+
+// One inverse-iteration solve: x <- normalize((A - shift I)^{-1} x).
+// Returns false when the shifted matrix is singular even after
+// perturbation (caller retries with a larger perturbation).
+bool InverseIterate(const Matrix& a, double shift, int steps, Vector* x) {
+  const size_t n = a.rows();
+  Matrix shifted = a;
+  for (size_t i = 0; i < n; ++i) shifted(i, i) -= shift;
+  auto lu = LuDecomposition::Compute(shifted, /*pivot_tol=*/1e-280);
+  if (!lu.ok()) return false;
+  for (int step = 0; step < steps; ++step) {
+    auto solved = lu->Solve(*x);
+    if (!solved.ok()) return false;
+    *x = std::move(solved).ValueOrDie();
+    if (!Normalize(x)) return false;
+  }
+  return true;
+}
+
+// Deterministic, index-dependent start vector; avoids accidental
+// orthogonality to the sought eigenvector.
+Vector StartVector(size_t n, size_t which) {
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.37 * std::sin(static_cast<double>(i * 131 + which * 17 + 1));
+  }
+  Normalize(&x);
+  return x;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> EigenGeneralReal(const Matrix& a,
+                                            const EigenOptions& options) {
+  if (!a.IsSquare()) {
+    return Status::Invalid("EigenGeneralReal requires a square matrix");
+  }
+  const size_t n = a.rows();
+  if (n == 0) return Status::Invalid("EigenGeneralReal of empty matrix");
+
+  CROWD_ASSIGN_OR_RETURN(auto complex_values, GeneralEigenvalues(a));
+
+  double spectral_scale = 1.0;
+  for (const auto& ev : complex_values) {
+    spectral_scale = std::max(spectral_scale, std::abs(ev));
+  }
+  Vector values;
+  values.reserve(n);
+  for (const auto& ev : complex_values) {
+    if (std::fabs(ev.imag()) > options.complex_tol * spectral_scale) {
+      return Status::NumericalError(StrFormat(
+          "EigenGeneralReal: complex eigenvalue %.6g%+.6gi beyond "
+          "tolerance",
+          ev.real(), ev.imag()));
+    }
+    values.push_back(ev.real());
+  }
+  std::sort(values.begin(), values.end(), std::greater<double>());
+
+  EigenDecomposition out;
+  out.values = values;
+  out.vectors = Matrix(n, n);
+
+  for (size_t idx = 0; idx < n; ++idx) {
+    const double lambda = values[idx];
+    // Perturb the shift so (A - shift I) is invertible; the inverse
+    // power method converges to the nearest eigenvector regardless.
+    double delta = 1e-9 * spectral_scale + 1e-12;
+    bool converged = false;
+    Vector x;
+    for (int attempt = 0; attempt < 6 && !converged; ++attempt) {
+      x = StartVector(n, idx + static_cast<size_t>(attempt) * 1000);
+      converged = InverseIterate(a, lambda + delta,
+                                 options.inverse_iterations, &x);
+      delta *= 32.0;
+    }
+    if (!converged) {
+      return Status::NumericalError(StrFormat(
+          "EigenGeneralReal: inverse iteration failed for eigenvalue "
+          "%.6g",
+          lambda));
+    }
+    // Deterministic sign: largest-magnitude component positive.
+    size_t arg_max = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (std::fabs(x[i]) > std::fabs(x[arg_max])) arg_max = i;
+    }
+    if (x[arg_max] < 0.0) {
+      for (double& xi : x) xi = -xi;
+    }
+    for (size_t i = 0; i < n; ++i) out.vectors(i, idx) = x[i];
+
+    Vector ax = a * x;
+    double residual = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double diff = ax[i] - lambda * x[i];
+      residual += diff * diff;
+    }
+    out.max_residual = std::max(out.max_residual, std::sqrt(residual));
+  }
+  return out;
+}
+
+}  // namespace crowd::linalg

@@ -1,0 +1,32 @@
+// Eigenvalues of a real upper Hessenberg matrix via the implicit
+// double-shift (Francis) QR iteration with deflation and exceptional
+// shifts. Eigenvalues are returned as complex numbers; conjugate pairs
+// appear adjacently.
+
+#ifndef CROWD_LINALG_FRANCIS_QR_H_
+#define CROWD_LINALG_FRANCIS_QR_H_
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::linalg {
+
+/// \brief Computes all eigenvalues of the upper Hessenberg matrix `h`.
+///
+/// Fails with NumericalError if any eigenvalue needs more than
+/// `max_iterations` QR steps (practically unreachable for the small
+/// matrices in this library).
+Result<std::vector<std::complex<double>>> HessenbergEigenvalues(
+    Matrix h, int max_iterations = 60);
+
+/// \brief Eigenvalues of a general square matrix: Hessenberg reduction
+/// followed by Francis QR.
+Result<std::vector<std::complex<double>>> GeneralEigenvalues(
+    const Matrix& a);
+
+}  // namespace crowd::linalg
+
+#endif  // CROWD_LINALG_FRANCIS_QR_H_

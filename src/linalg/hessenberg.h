@@ -1,0 +1,28 @@
+// Householder reduction of a general square matrix to upper Hessenberg
+// form, the first stage of the general eigenvalue computation.
+
+#ifndef CROWD_LINALG_HESSENBERG_H_
+#define CROWD_LINALG_HESSENBERG_H_
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::linalg {
+
+/// \brief A = Q H Q^T with H upper Hessenberg and Q orthogonal.
+struct HessenbergForm {
+  Matrix h;
+  Matrix q;
+};
+
+/// \brief Reduces `a` to Hessenberg form via Householder reflections,
+/// accumulating the orthogonal transform.
+Result<HessenbergForm> ReduceToHessenberg(const Matrix& a);
+
+/// \brief True when all entries below the first subdiagonal vanish
+/// (within `tol` relative to the matrix scale).
+bool IsUpperHessenberg(const Matrix& a, double tol = 1e-12);
+
+}  // namespace crowd::linalg
+
+#endif  // CROWD_LINALG_HESSENBERG_H_

@@ -1,0 +1,109 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace crowd::linalg {
+
+namespace {
+
+// Sum of squares of off-diagonal entries.
+double OffDiagonalNormSquared(const Matrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<SymmetricEigen> JacobiEigen(const Matrix& a, double symmetry_tol,
+                                   int max_sweeps) {
+  if (!a.IsSquare()) {
+    return Status::Invalid("JacobiEigen requires a square matrix");
+  }
+  if (!a.IsSymmetric(symmetry_tol * std::max(1.0, a.MaxAbs()))) {
+    return Status::Invalid("JacobiEigen requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  // Work on the symmetrized copy so tiny asymmetries cannot drift.
+  Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      s(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+
+  const double scale = std::max(1.0, s.MaxAbs());
+  const double nd = static_cast<double>(n);
+  const double stop = (1e-15 * scale) * (1e-15 * scale) * nd * nd;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (OffDiagonalNormSquared(s) <= stop) break;
+    if (sweep == max_sweeps - 1) {
+      return Status::NumericalError("JacobiEigen did not converge");
+    }
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = s(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        double app = s(p, p);
+        double aqq = s(q, q);
+        // Rotation angle via the stable tangent formula.
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double sn = t * c;
+
+        // Apply the rotation to rows/columns p and q of S.
+        for (size_t i = 0; i < n; ++i) {
+          double sip = s(i, p);
+          double siq = s(i, q);
+          s(i, p) = c * sip - sn * siq;
+          s(i, q) = sn * sip + c * siq;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          double spj = s(p, j);
+          double sqj = s(q, j);
+          s(p, j) = c * spj - sn * sqj;
+          s(q, j) = sn * spj + c * sqj;
+        }
+        // Accumulate eigenvectors.
+        for (size_t i = 0; i < n; ++i) {
+          double vip = v(i, p);
+          double viq = v(i, q);
+          v(i, p) = c * vip - sn * viq;
+          v(i, q) = sn * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen out;
+  out.values = s.Diag();
+  out.vectors = Matrix(n, n);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.values[x] > out.values[y];
+  });
+  Vector sorted_values(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_values[i] = out.values[order[i]];
+    for (size_t r = 0; r < n; ++r) {
+      out.vectors(r, i) = v(r, order[i]);
+    }
+  }
+  out.values = std::move(sorted_values);
+  return out;
+}
+
+}  // namespace crowd::linalg

@@ -1,0 +1,32 @@
+// Symmetric eigensolver: cyclic Jacobi rotations. Unconditionally
+// stable for the small symmetric matrices used here (covariance
+// matrices, symmetrized spectral-method inputs).
+
+#ifndef CROWD_LINALG_JACOBI_EIGEN_H_
+#define CROWD_LINALG_JACOBI_EIGEN_H_
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::linalg {
+
+/// \brief Eigen-decomposition of a symmetric matrix: A = V D V^T with
+/// V orthogonal. Eigenvalues are sorted in descending order and
+/// `vectors.Column(i)` is the unit eigenvector for `values[i]`.
+struct SymmetricEigen {
+  Vector values;
+  Matrix vectors;
+};
+
+/// \brief Computes the decomposition via cyclic Jacobi sweeps.
+///
+/// `a` must be symmetric to within `symmetry_tol` (checked); fails with
+/// NumericalError if the sweep count exceeds `max_sweeps` (does not
+/// happen for n <= ~50).
+Result<SymmetricEigen> JacobiEigen(const Matrix& a,
+                                   double symmetry_tol = 1e-8,
+                                   int max_sweeps = 64);
+
+}  // namespace crowd::linalg
+
+#endif  // CROWD_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,49 @@
+// Matrix functions built on the eigensolvers: principal square roots
+// and small row-stochastic helpers used by the spectral k-ary method.
+
+#ifndef CROWD_LINALG_MATRIX_FUNCTIONS_H_
+#define CROWD_LINALG_MATRIX_FUNCTIONS_H_
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace crowd::linalg {
+
+/// Options for the principal square root.
+struct SqrtOptions {
+  /// Eigenvalues below `clamp_floor * max_eigenvalue` are clamped up to
+  /// that value before taking the square root. Sample-noise versions of
+  /// theoretically-PSD matrices can have slightly negative eigenvalues;
+  /// the clamp keeps the square root real at a documented bias cost.
+  double clamp_floor = 1e-10;
+  /// When a clamped eigenvalue was more negative than
+  /// `-negative_tol * max_eigenvalue`, the matrix is considered not
+  /// PSD-like at all and the call fails instead of clamping.
+  double negative_tol = 0.5;
+};
+
+/// \brief Principal square root S with S*S ~= A, for a general real
+/// matrix A that is similar to a symmetric PSD matrix (real
+/// non-negative spectrum), e.g. A = R12 * R32^{-1} * R31 = V^T V from
+/// Lemma 7 of the paper. Computed as E * D^{1/2} * E^{-1}.
+Result<Matrix> PrincipalSqrt(const Matrix& a,
+                             const SqrtOptions& options = {});
+
+/// \brief Square root of a symmetric PSD matrix via Jacobi (more
+/// accurate than PrincipalSqrt when symmetry is exact).
+Result<Matrix> SymmetricSqrt(const Matrix& a,
+                             const SqrtOptions& options = {});
+
+/// \brief Per-row sums.
+Vector RowSums(const Matrix& a);
+
+/// \brief Scales each row to sum to one. Rows with |sum| < `min_sum`
+/// produce an error (a response-probability row cannot be recovered).
+Status NormalizeRowsToSumOne(Matrix* a, double min_sum = 1e-9);
+
+/// \brief Clamps every entry into [lo, hi] in place.
+void ClampEntries(Matrix* a, double lo, double hi);
+
+}  // namespace crowd::linalg
+
+#endif  // CROWD_LINALG_MATRIX_FUNCTIONS_H_

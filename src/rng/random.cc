@@ -1,0 +1,116 @@
+#include "rng/random.h"
+
+#include <cmath>
+
+namespace crowd {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Random::Random(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.Next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot emit four
+  // consecutive zeros, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::Uniform(double lo, double hi) {
+  CROWD_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Random::UniformInt(uint64_t bound) {
+  CROWD_CHECK_GT(bound, 0u);
+  // Lemire-style rejection using the high bits.
+  const uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Random::Categorical(const std::vector<double>& weights) {
+  CROWD_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CROWD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  CROWD_CHECK_GT(total, 0.0);
+  double u = NextDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (u < cumulative) return i;
+  }
+  // Floating-point slack: fall through to the last non-zero weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+double Random::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+int Random::Binomial(int n, double p) {
+  CROWD_CHECK_GE(n, 0);
+  int successes = 0;
+  for (int i = 0; i < n; ++i) {
+    if (Bernoulli(p)) ++successes;
+  }
+  return successes;
+}
+
+Random Random::Fork() {
+  // Derive the child seed from two raw outputs mixed once more.
+  SplitMix64 sm(NextUint64() ^ Rotl(NextUint64(), 32));
+  return Random(sm.Next());
+}
+
+}  // namespace crowd

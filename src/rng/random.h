@@ -1,0 +1,93 @@
+// Deterministic, reproducible random number generation.
+//
+// The experiments in this project must be exactly reproducible across
+// platforms and standard library versions, so we implement the PRNG
+// (xoshiro256**) and all variate transforms ourselves instead of
+// relying on std::<distribution> (whose outputs are not specified).
+
+#ifndef CROWD_RNG_RANDOM_H_
+#define CROWD_RNG_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crowd {
+
+/// \brief SplitMix64: used to expand a single seed into PRNG state and
+/// to derive independent sub-stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** 1.0 (Blackman & Vigna), a fast all-purpose
+/// generator with 256 bits of state, plus variate transforms.
+class Random {
+ public:
+  /// Seeds the full state via SplitMix64, per the xoshiro authors'
+  /// recommendation.
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1) with 53-bit resolution.
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound), bound > 0; unbiased (rejection).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Bernoulli draw: true with probability p (p clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Index draw from unnormalized non-negative weights.
+  /// Weights must not be all-zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Standard normal via the polar (Marsaglia) method.
+  double NextGaussian();
+
+  /// Normal with given mean and standard deviation (sd >= 0).
+  double Gaussian(double mean, double sd) {
+    return mean + sd * NextGaussian();
+  }
+
+  /// Number of successes in n Bernoulli(p) trials (direct simulation;
+  /// n in this project is at most a few thousand).
+  int Binomial(int n, double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    CROWD_CHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// An independently-seeded generator derived from this one. Streams
+  /// produced by successive calls are decorrelated (seeds from the raw
+  /// output run through SplitMix64).
+  Random Fork();
+
+ private:
+  uint64_t state_[4];
+  // Cached second variate from the polar method.
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace crowd
+
+#endif  // CROWD_RNG_RANDOM_H_

@@ -1,0 +1,47 @@
+#include "sim/assignment.h"
+
+#include "util/logging.h"
+
+namespace crowd::sim {
+
+AssignmentConfig AssignmentConfig::PaperHeterogeneous(size_t num_workers) {
+  std::vector<double> densities(num_workers);
+  const double m = static_cast<double>(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    const double rank = static_cast<double>(i + 1);  // 1-based in paper.
+    densities[i] = (0.5 * rank + (m - rank)) / m;
+  }
+  return PerWorker(std::move(densities));
+}
+
+std::vector<std::vector<bool>> DrawAssignment(const AssignmentConfig& config,
+                                              size_t num_workers,
+                                              size_t num_tasks,
+                                              Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  std::vector<std::vector<bool>> mask(num_workers,
+                                      std::vector<bool>(num_tasks, false));
+  switch (config.kind) {
+    case AssignmentConfig::Kind::kRegular:
+      for (auto& row : mask) row.assign(num_tasks, true);
+      break;
+    case AssignmentConfig::Kind::kIidDensity:
+      for (auto& row : mask) {
+        for (size_t t = 0; t < num_tasks; ++t) {
+          row[t] = rng->Bernoulli(config.density);
+        }
+      }
+      break;
+    case AssignmentConfig::Kind::kPerWorkerDensity:
+      CROWD_CHECK_EQ(config.per_worker_density.size(), num_workers);
+      for (size_t w = 0; w < num_workers; ++w) {
+        for (size_t t = 0; t < num_tasks; ++t) {
+          mask[w][t] = rng->Bernoulli(config.per_worker_density[w]);
+        }
+      }
+      break;
+  }
+  return mask;
+}
+
+}  // namespace crowd::sim

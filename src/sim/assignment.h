@@ -1,0 +1,51 @@
+// Worker-to-task assignment models used by the synthetic experiments:
+// regular (everyone attempts everything), iid density (each worker-
+// task pair attempted with probability d — Section III-D1/2) and
+// per-worker densities (Section III-D3's d_i = (0.5 i + m - i)/m).
+
+#ifndef CROWD_SIM_ASSIGNMENT_H_
+#define CROWD_SIM_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "rng/random.h"
+
+namespace crowd::sim {
+
+/// \brief Assignment model configuration.
+struct AssignmentConfig {
+  enum class Kind {
+    kRegular,
+    kIidDensity,
+    kPerWorkerDensity,
+  };
+  Kind kind = Kind::kRegular;
+  /// For kIidDensity: the attempt probability for every pair.
+  double density = 1.0;
+  /// For kPerWorkerDensity: attempt probability per worker (size m).
+  std::vector<double> per_worker_density;
+
+  static AssignmentConfig Regular() { return {}; }
+  static AssignmentConfig Iid(double density) {
+    return {Kind::kIidDensity, density, {}};
+  }
+  static AssignmentConfig PerWorker(std::vector<double> densities) {
+    return {Kind::kPerWorkerDensity, 1.0, std::move(densities)};
+  }
+
+  /// The paper's Fig. 2(c) profile: d_i = (0.5 i + (m - i)) / m for
+  /// worker i in 1..m, so different workers attempt very different
+  /// numbers of tasks.
+  static AssignmentConfig PaperHeterogeneous(size_t num_workers);
+};
+
+/// \brief Draws the attempt mask: out[w][t] = true when worker w
+/// attempts task t.
+std::vector<std::vector<bool>> DrawAssignment(const AssignmentConfig& config,
+                                              size_t num_workers,
+                                              size_t num_tasks,
+                                              Random* rng);
+
+}  // namespace crowd::sim
+
+#endif  // CROWD_SIM_ASSIGNMENT_H_

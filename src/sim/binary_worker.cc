@@ -1,0 +1,39 @@
+#include "sim/binary_worker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowd::sim {
+
+std::vector<double> DrawErrorRates(const BinaryPoolConfig& config,
+                                   size_t num_workers, Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  CROWD_CHECK(!config.error_rates.empty());
+  std::vector<double> rates(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (config.spammer_fraction > 0.0 &&
+        rng->Bernoulli(config.spammer_fraction)) {
+      rates[w] = rng->Uniform(config.spammer_lo, config.spammer_hi);
+    } else {
+      rates[w] = config.error_rates[rng->UniformInt(
+          config.error_rates.size())];
+    }
+  }
+  return rates;
+}
+
+std::vector<double> DrawTaskDifficulty(size_t num_tasks, double sd,
+                                       Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  std::vector<double> difficulty(num_tasks, 0.0);
+  if (sd <= 0.0) return difficulty;
+  for (double& d : difficulty) d = rng->Gaussian(0.0, sd);
+  return difficulty;
+}
+
+double EffectiveErrorRate(double p, double delta) {
+  return std::clamp(p + delta, 0.001, 0.6);
+}
+
+}  // namespace crowd::sim

@@ -1,0 +1,46 @@
+// Binary worker models for the synthetic experiments of Section III:
+// each worker has an inherent error rate p_i drawn from a pool
+// ({0.1, 0.2, 0.3} in the paper), optionally with a spammer admixture
+// and per-task difficulty noise that breaks the independence assumption
+// the way real data does (Section III-E).
+
+#ifndef CROWD_SIM_BINARY_WORKER_H_
+#define CROWD_SIM_BINARY_WORKER_H_
+
+#include <vector>
+
+#include "rng/random.h"
+
+namespace crowd::sim {
+
+/// \brief Worker-pool configuration for binary tasks.
+struct BinaryPoolConfig {
+  /// Error rates sampled uniformly per worker (the paper's
+  /// {0.1, 0.2, 0.3}).
+  std::vector<double> error_rates = {0.1, 0.2, 0.3};
+  /// Fraction of workers replaced by spammers with error rates drawn
+  /// uniformly from [spammer_lo, spammer_hi].
+  double spammer_fraction = 0.0;
+  double spammer_lo = 0.42;
+  double spammer_hi = 0.55;
+};
+
+/// \brief Draws one error rate per worker.
+std::vector<double> DrawErrorRates(const BinaryPoolConfig& config,
+                                   size_t num_workers, Random* rng);
+
+/// \brief Per-task difficulty offsets: delta_t ~ N(0, sd), so the
+/// effective error rate of every worker on task t becomes
+/// clamp(p_i + delta_t, floor, ceiling). A common offset across
+/// workers induces exactly the kind of error correlation real task
+/// pools exhibit.
+std::vector<double> DrawTaskDifficulty(size_t num_tasks, double sd,
+                                       Random* rng);
+
+/// \brief The probability worker with base rate `p` errs on a task
+/// with difficulty offset `delta` (clamped into [0.001, 0.6]).
+double EffectiveErrorRate(double p, double delta);
+
+}  // namespace crowd::sim
+
+#endif  // CROWD_SIM_BINARY_WORKER_H_

@@ -1,0 +1,114 @@
+#include "sim/kary_worker.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace crowd::sim {
+
+Result<std::vector<linalg::Matrix>> PaperMatrixPool(int arity) {
+  using linalg::Matrix;
+  switch (arity) {
+    case 2:
+      return std::vector<Matrix>{
+          Matrix{{0.9, 0.1}, {0.2, 0.8}},
+          Matrix{{0.8, 0.2}, {0.1, 0.9}},
+          Matrix{{0.9, 0.1}, {0.1, 0.9}},
+      };
+    case 3:
+      return std::vector<Matrix>{
+          Matrix{{0.6, 0.3, 0.1}, {0.1, 0.6, 0.3}, {0.3, 0.1, 0.6}},
+          Matrix{{0.8, 0.1, 0.1}, {0.2, 0.8, 0.0}, {0.0, 0.2, 0.8}},
+          Matrix{{0.9, 0.0, 0.1}, {0.1, 0.9, 0.0}, {0.0, 0.2, 0.8}},
+      };
+    case 4:
+      return std::vector<Matrix>{
+          Matrix{{0.7, 0.1, 0.1, 0.1},
+                 {0.1, 0.6, 0.2, 0.1},
+                 {0.0, 0.1, 0.8, 0.1},
+                 {0.2, 0.1, 0.0, 0.7}},
+          Matrix{{0.8, 0.1, 0.0, 0.1},
+                 {0.1, 0.8, 0.0, 0.1},
+                 {0.1, 0.1, 0.7, 0.1},
+                 {0.0, 0.1, 0.2, 0.7}},
+          Matrix{{0.6, 0.1, 0.2, 0.1},
+                 {0.0, 0.7, 0.1, 0.2},
+                 {0.1, 0.0, 0.9, 0.0},
+                 {0.2, 0.0, 0.0, 0.8}},
+      };
+    default:
+      return Status::Invalid(StrFormat(
+          "the paper's matrix pool covers arity 2-4, requested %d",
+          arity));
+  }
+}
+
+linalg::Matrix RandomResponseMatrix(int arity, double diag_lo,
+                                    double diag_hi, Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  linalg::Matrix m(arity, arity);
+  for (int r = 0; r < arity; ++r) {
+    double diag = rng->Uniform(diag_lo, diag_hi);
+    // Random off-diagonal proportions.
+    double remaining = 1.0 - diag;
+    std::vector<double> weights(arity - 1);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng->Uniform(0.05, 1.0);
+      total += w;
+    }
+    int idx = 0;
+    for (int c = 0; c < arity; ++c) {
+      if (c == r) {
+        m(r, c) = diag;
+      } else {
+        m(r, c) = remaining * weights[idx++] / total;
+      }
+    }
+  }
+  return m;
+}
+
+linalg::Matrix AdjacentBiasMatrix(int arity, double correct, Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  linalg::Matrix m(arity, arity);
+  for (int r = 0; r < arity; ++r) {
+    double diag = correct + rng->Uniform(-0.05, 0.05);
+    double remaining = 1.0 - diag;
+    // Off-diagonal mass decays geometrically with grade distance.
+    std::vector<double> weights(arity, 0.0);
+    double total = 0.0;
+    for (int c = 0; c < arity; ++c) {
+      if (c == r) continue;
+      weights[c] = std::pow(0.35, std::abs(c - r) - 1);
+      total += weights[c];
+    }
+    for (int c = 0; c < arity; ++c) {
+      m(r, c) = (c == r) ? diag : remaining * weights[c] / total;
+    }
+  }
+  return m;
+}
+
+std::vector<linalg::Matrix> DrawWorkerMatrices(
+    const std::vector<linalg::Matrix>& pool, size_t num_workers,
+    Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  CROWD_CHECK(!pool.empty());
+  std::vector<linalg::Matrix> matrices;
+  matrices.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    matrices.push_back(pool[rng->UniformInt(pool.size())]);
+  }
+  return matrices;
+}
+
+int SampleResponse(const linalg::Matrix& response_matrix, int truth,
+                   Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  return static_cast<int>(
+      rng->Categorical(response_matrix.Row(static_cast<size_t>(truth))));
+}
+
+}  // namespace crowd::sim

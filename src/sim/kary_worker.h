@@ -1,0 +1,44 @@
+// k-ary worker models: each worker owns a k x k response-probability
+// matrix; Section IV-B's experiments draw each worker's matrix
+// uniformly from a pool of three arity-specific matrices, reproduced
+// verbatim here.
+
+#ifndef CROWD_SIM_KARY_WORKER_H_
+#define CROWD_SIM_KARY_WORKER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "rng/random.h"
+#include "util/result.h"
+
+namespace crowd::sim {
+
+/// \brief The paper's pool of response-probability matrices for
+/// arity 2, 3 or 4 (Section IV-B). Fails for other arities.
+Result<std::vector<linalg::Matrix>> PaperMatrixPool(int arity);
+
+/// \brief A diagonally-dominant random response matrix: diagonal entry
+/// ~ U[diag_lo, diag_hi], off-diagonal mass spread with random
+/// proportions. Useful for property tests and the dataset synthesizers.
+linalg::Matrix RandomResponseMatrix(int arity, double diag_lo,
+                                    double diag_hi, Random* rng);
+
+/// \brief A response matrix biased toward adjacent classes (graders
+/// who confuse a grade mostly with its neighbors), used by the MOOC
+/// analogue.
+linalg::Matrix AdjacentBiasMatrix(int arity, double correct, Random* rng);
+
+/// \brief Assigns one matrix per worker, drawn uniformly from `pool`.
+std::vector<linalg::Matrix> DrawWorkerMatrices(
+    const std::vector<linalg::Matrix>& pool, size_t num_workers,
+    Random* rng);
+
+/// \brief Samples a response given the true class and a worker matrix
+/// (categorical draw over row `truth`).
+int SampleResponse(const linalg::Matrix& response_matrix, int truth,
+                   Random* rng);
+
+}  // namespace crowd::sim
+
+#endif  // CROWD_SIM_KARY_WORKER_H_

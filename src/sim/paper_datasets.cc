@@ -1,0 +1,231 @@
+#include "sim/paper_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/random.h"
+#include "sim/binary_worker.h"
+#include "sim/kary_worker.h"
+#include "util/logging.h"
+
+namespace crowd::sim {
+
+namespace {
+
+// A worker-quality mixture: (fraction good, fraction weak, rest
+// spammers), with error ranges per class.
+struct QualityMix {
+  double good_fraction = 0.75;
+  double weak_fraction = 0.15;
+  double good_lo = 0.05, good_hi = 0.30;
+  double weak_lo = 0.30, weak_hi = 0.42;
+  double spam_lo = 0.45, spam_hi = 0.55;
+};
+
+std::vector<double> DrawMixedRates(const QualityMix& mix, size_t m,
+                                   Random* rng) {
+  std::vector<double> rates(m);
+  for (size_t w = 0; w < m; ++w) {
+    double u = rng->NextDouble();
+    if (u < mix.good_fraction) {
+      rates[w] = rng->Uniform(mix.good_lo, mix.good_hi);
+    } else if (u < mix.good_fraction + mix.weak_fraction) {
+      rates[w] = rng->Uniform(mix.weak_lo, mix.weak_hi);
+    } else {
+      rates[w] = rng->Uniform(mix.spam_lo, mix.spam_hi);
+    }
+  }
+  return rates;
+}
+
+// Builds a binary dataset from an explicit attempt mask and per-worker
+// error rates, with per-task difficulty offsets.
+data::Dataset BuildBinary(const std::string& name, size_t m, size_t n,
+                          const std::vector<std::vector<bool>>& mask,
+                          const std::vector<double>& rates,
+                          double difficulty_sd, double positive_prior,
+                          Random* rng) {
+  std::vector<double> difficulty = DrawTaskDifficulty(n, difficulty_sd, rng);
+  data::Dataset dataset(name, data::ResponseMatrix(m, n, 2));
+  for (data::TaskId t = 0; t < n; ++t) {
+    int truth = rng->Bernoulli(positive_prior) ? 1 : 0;
+    dataset.SetGold(t, truth).AbortIfNotOk();
+    for (data::WorkerId w = 0; w < m; ++w) {
+      if (!mask[w][t]) continue;
+      double p = EffectiveErrorRate(rates[w], difficulty[t]);
+      int response = rng->Bernoulli(p) ? 1 - truth : truth;
+      dataset.mutable_responses()->Set(w, t, response).AbortIfNotOk();
+    }
+  }
+  return dataset;
+}
+
+// Sparse crowd-market assignment with HIT structure: tasks come in
+// contiguous batches ("HITs") of `hit_size`, each HIT is taken by
+// `workers_per_hit` distinct workers sampled with long-tailed activity
+// weights (a few prolific workers, many occasional ones). This mirrors
+// how Mechanical Turk distributed the Snow et al. annotation work: a
+// worker labels whole pages of items, so two workers share either
+// nothing or whole batches — never a single stray task.
+std::vector<std::vector<bool>> LongTailAssignment(size_t m, size_t n,
+                                                  size_t hit_size,
+                                                  size_t workers_per_hit,
+                                                  double tail_sd,
+                                                  Random* rng) {
+  std::vector<double> activity(m);
+  for (double& a : activity) a = std::exp(rng->Gaussian(0.0, tail_sd));
+  std::vector<std::vector<bool>> mask(m, std::vector<bool>(n, false));
+  std::vector<double> weights(m);
+  for (size_t hit_start = 0; hit_start < n; hit_start += hit_size) {
+    size_t hit_end = std::min(hit_start + hit_size, n);
+    weights = activity;
+    for (size_t pick = 0; pick < std::min(workers_per_hit, m); ++pick) {
+      size_t w = rng->Categorical(weights);
+      weights[w] = 0.0;  // Without replacement within the HIT.
+      for (size_t t = hit_start; t < hit_end; ++t) mask[w][t] = true;
+    }
+  }
+  return mask;
+}
+
+// Window assignment: worker w attempts `window` consecutive tasks
+// starting at an evenly-spaced offset (wrapping), so nearby workers
+// share large task blocks — the structure peer-grading pools exhibit.
+std::vector<std::vector<bool>> WindowAssignment(size_t m, size_t n,
+                                                size_t window) {
+  std::vector<std::vector<bool>> mask(m, std::vector<bool>(n, false));
+  for (data::WorkerId w = 0; w < m; ++w) {
+    size_t start = (w * n) / m;
+    for (size_t offset = 0; offset < window; ++offset) {
+      mask[w][(start + offset) % n] = true;
+    }
+  }
+  return mask;
+}
+
+// Builds a k-ary dataset from per-worker response matrices.
+data::Dataset BuildKary(const std::string& name, size_t m, size_t n,
+                        int arity,
+                        const std::vector<std::vector<bool>>& mask,
+                        const std::vector<linalg::Matrix>& matrices,
+                        const linalg::Vector& selectivity, Random* rng) {
+  data::Dataset dataset(name, data::ResponseMatrix(m, n, arity));
+  for (data::TaskId t = 0; t < n; ++t) {
+    int truth = static_cast<int>(rng->Categorical(selectivity));
+    dataset.SetGold(t, truth).AbortIfNotOk();
+    for (data::WorkerId w = 0; w < m; ++w) {
+      if (!mask[w][t]) continue;
+      int response = SampleResponse(matrices[w], truth, rng);
+      dataset.mutable_responses()->Set(w, t, response).AbortIfNotOk();
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+data::Dataset SyntheticIc(uint64_t seed) {
+  Random rng(seed ^ 0x1c1c1c1cULL);
+  const size_t m = 19, n = 48;
+  QualityMix mix;  // Defaults: 75% good / 15% weak / 10% spammers.
+  std::vector<double> rates = DrawMixedRates(mix, m, &rng);
+  std::vector<std::vector<bool>> mask(m, std::vector<bool>(n, true));
+  return BuildBinary("IC", m, n, mask, rates, /*difficulty_sd=*/0.08,
+                     /*positive_prior=*/0.5, &rng);
+}
+
+data::Dataset SyntheticRte(uint64_t seed) {
+  Random rng(seed ^ 0x47e47e4ULL);
+  const size_t m = 164, n = 800;
+  // Open-call MTurk pools (Snow et al. imposed no qualification) carry
+  // a sizable pure-spammer contingent — the population whose removal
+  // drives the paper's Figure 3 -> Figure 4 repair.
+  QualityMix mix;
+  mix.good_fraction = 0.72;
+  mix.weak_fraction = 0.10;
+  std::vector<double> rates = DrawMixedRates(mix, m, &rng);
+  auto mask = LongTailAssignment(m, n, /*hit_size=*/20,
+                                 /*workers_per_hit=*/10,
+                                 /*tail_sd=*/1.1, &rng);
+  return BuildBinary("RTE", m, n, mask, rates, /*difficulty_sd=*/0.05,
+                     /*positive_prior=*/0.5, &rng);
+}
+
+data::Dataset SyntheticTem(uint64_t seed) {
+  Random rng(seed ^ 0x7e307e3ULL);
+  const size_t m = 76, n = 462;
+  QualityMix mix;
+  mix.good_fraction = 0.72;
+  mix.weak_fraction = 0.10;
+  std::vector<double> rates = DrawMixedRates(mix, m, &rng);
+  auto mask = LongTailAssignment(m, n, /*hit_size=*/21,
+                                 /*workers_per_hit=*/10,
+                                 /*tail_sd=*/1.0, &rng);
+  return BuildBinary("TEM", m, n, mask, rates, /*difficulty_sd=*/0.05,
+                     /*positive_prior=*/0.45, &rng);
+}
+
+data::Dataset SyntheticMooc(uint64_t seed) {
+  Random rng(seed ^ 0x300cULL);
+  const size_t m = 60, n = 300;
+  const int arity = 3;
+  std::vector<linalg::Matrix> matrices;
+  matrices.reserve(m);
+  for (size_t w = 0; w < m; ++w) {
+    matrices.push_back(
+        AdjacentBiasMatrix(arity, rng.Uniform(0.55, 0.85), &rng));
+  }
+  auto mask = WindowAssignment(m, n, /*window=*/150);
+  linalg::Vector selectivity = {0.25, 0.45, 0.30};
+  return BuildKary("MOOC", m, n, arity, mask, matrices, selectivity,
+                   &rng);
+}
+
+data::Dataset SyntheticWsd(uint64_t seed) {
+  Random rng(seed ^ 0x55dULL);
+  const size_t m = 35, n = 350;
+  const int arity = 2;
+  std::vector<linalg::Matrix> matrices;
+  matrices.reserve(m);
+  for (size_t w = 0; w < m; ++w) {
+    // Accurate annotators (Snow et al. report high WSD agreement) with
+    // mild per-worker bias.
+    matrices.push_back(RandomResponseMatrix(arity, 0.80, 0.97, &rng));
+  }
+  auto mask = WindowAssignment(m, n, /*window=*/175);
+  linalg::Vector selectivity = {0.82, 0.18};
+  return BuildKary("WSD", m, n, arity, mask, matrices, selectivity, &rng);
+}
+
+data::Dataset SyntheticWs(uint64_t seed) {
+  Random rng(seed ^ 0x33557799ULL);
+  const size_t m = 40, n = 200;
+  const int arity = 2;
+  std::vector<linalg::Matrix> matrices;
+  matrices.reserve(m);
+  for (size_t w = 0; w < m; ++w) {
+    matrices.push_back(RandomResponseMatrix(arity, 0.65, 0.9, &rng));
+  }
+  auto mask = WindowAssignment(m, n, /*window=*/60);
+  linalg::Vector selectivity = {0.55, 0.45};
+  return BuildKary("WS", m, n, arity, mask, matrices, selectivity, &rng);
+}
+
+Result<data::Dataset> MakePaperDataset(const std::string& name,
+                                       uint64_t seed) {
+  if (name == "IC") return SyntheticIc(seed);
+  if (name == "RTE") return SyntheticRte(seed);
+  if (name == "TEM") return SyntheticTem(seed);
+  if (name == "MOOC") return SyntheticMooc(seed);
+  if (name == "WSD") return SyntheticWsd(seed);
+  if (name == "WS") return SyntheticWs(seed);
+  return Status::NotFound("unknown paper dataset: " + name);
+}
+
+const std::vector<std::string>& PaperDatasetNames() {
+  static const std::vector<std::string> kNames = {"IC",   "RTE", "TEM",
+                                                  "MOOC", "WSD", "WS"};
+  return kNames;
+}
+
+}  // namespace crowd::sim

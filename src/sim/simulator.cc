@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace crowd::sim {
+
+BinarySimOutput SimulateBinary(const BinarySimConfig& config, Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  const size_t m = config.num_workers;
+  const size_t n = config.num_tasks;
+
+  std::vector<double> rates = DrawErrorRates(config.pool, m, rng);
+  std::vector<double> difficulty =
+      DrawTaskDifficulty(n, config.task_difficulty_sd, rng);
+  auto mask = DrawAssignment(config.assignment, m, n, rng);
+
+  data::ResponseMatrix responses(m, n, 2);
+  data::Dataset dataset("binary-sim", std::move(responses));
+  for (data::TaskId t = 0; t < n; ++t) {
+    int truth = rng->Bernoulli(config.positive_prior) ? 1 : 0;
+    dataset.SetGold(t, truth).AbortIfNotOk();
+    for (data::WorkerId w = 0; w < m; ++w) {
+      if (!mask[w][t]) continue;
+      double p = EffectiveErrorRate(rates[w], difficulty[t]);
+      int response = rng->Bernoulli(p) ? 1 - truth : truth;
+      dataset.mutable_responses()->Set(w, t, response).AbortIfNotOk();
+    }
+  }
+  return BinarySimOutput{std::move(dataset), std::move(rates)};
+}
+
+Result<KarySimOutput> SimulateKary(const KarySimConfig& config,
+                                   Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  const size_t m = config.num_workers;
+  const size_t n = config.num_tasks;
+  const int k = config.arity;
+
+  std::vector<linalg::Matrix> pool = config.matrix_pool;
+  if (pool.empty()) {
+    CROWD_ASSIGN_OR_RETURN(pool, PaperMatrixPool(k));
+  }
+  for (const auto& matrix : pool) {
+    if (matrix.rows() != static_cast<size_t>(k) ||
+        matrix.cols() != static_cast<size_t>(k)) {
+      return Status::Invalid("matrix pool entry does not match arity");
+    }
+  }
+  linalg::Vector selectivity = config.selectivity;
+  if (selectivity.empty()) {
+    selectivity.assign(k, 1.0 / static_cast<double>(k));
+  }
+  if (selectivity.size() != static_cast<size_t>(k)) {
+    return Status::Invalid("selectivity size does not match arity");
+  }
+
+  std::vector<linalg::Matrix> matrices = DrawWorkerMatrices(pool, m, rng);
+  auto mask = DrawAssignment(config.assignment, m, n, rng);
+
+  data::ResponseMatrix responses(m, n, k);
+  data::Dataset dataset("kary-sim", std::move(responses));
+  for (data::TaskId t = 0; t < n; ++t) {
+    int truth = static_cast<int>(rng->Categorical(selectivity));
+    CROWD_RETURN_NOT_OK(dataset.SetGold(t, truth));
+    for (data::WorkerId w = 0; w < m; ++w) {
+      if (!mask[w][t]) continue;
+      int response = SampleResponse(matrices[w], truth, rng);
+      CROWD_RETURN_NOT_OK(
+          dataset.mutable_responses()->Set(w, t, response));
+    }
+  }
+  return KarySimOutput{std::move(dataset), std::move(matrices)};
+}
+
+data::ResponseMatrix RemoveResponses(const data::ResponseMatrix& matrix,
+                                     double fraction, Random* rng) {
+  CROWD_CHECK(rng != nullptr);
+  return matrix.Thinned(fraction, [rng]() { return rng->NextDouble(); });
+}
+
+}  // namespace crowd::sim

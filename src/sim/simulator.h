@@ -1,0 +1,75 @@
+// End-to-end synthetic dataset simulators reproducing the paper's
+// experimental protocols: draw ground truths, worker parameters and an
+// assignment, then sample responses. Gold labels are attached to every
+// task so the experiment harness can score intervals against truth.
+
+#ifndef CROWD_SIM_SIMULATOR_H_
+#define CROWD_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "rng/random.h"
+#include "sim/assignment.h"
+#include "sim/binary_worker.h"
+#include "sim/kary_worker.h"
+#include "util/result.h"
+
+namespace crowd::sim {
+
+/// \brief Binary simulation protocol (Sections III-A/D).
+struct BinarySimConfig {
+  size_t num_workers = 3;
+  size_t num_tasks = 100;
+  BinaryPoolConfig pool;
+  AssignmentConfig assignment = AssignmentConfig::Regular();
+  /// Prior probability that a task's true response is 1.
+  double positive_prior = 0.5;
+  /// Std-dev of the per-task difficulty offset (0 = the paper's iid
+  /// model; > 0 mimics real datasets).
+  double task_difficulty_sd = 0.0;
+};
+
+/// \brief A simulated binary dataset plus its hidden parameters.
+struct BinarySimOutput {
+  data::Dataset dataset;
+  /// The workers' *base* error rates p_i.
+  std::vector<double> true_error_rates;
+};
+
+/// \brief Runs the binary protocol.
+BinarySimOutput SimulateBinary(const BinarySimConfig& config, Random* rng);
+
+/// \brief k-ary simulation protocol (Section IV-B).
+struct KarySimConfig {
+  size_t num_workers = 3;
+  size_t num_tasks = 500;
+  int arity = 3;
+  /// Pool of response matrices; each worker gets one uniformly.
+  /// Empty = use the paper's pool for the arity.
+  std::vector<linalg::Matrix> matrix_pool;
+  /// Prior over true responses; empty = uniform.
+  linalg::Vector selectivity;
+  AssignmentConfig assignment = AssignmentConfig::Regular();
+};
+
+/// \brief A simulated k-ary dataset plus its hidden parameters.
+struct KarySimOutput {
+  data::Dataset dataset;
+  std::vector<linalg::Matrix> true_matrices;
+};
+
+/// \brief Runs the k-ary protocol. Fails only when `matrix_pool` is
+/// empty and the arity has no paper pool.
+Result<KarySimOutput> SimulateKary(const KarySimConfig& config,
+                                   Random* rng);
+
+/// \brief Removes `fraction` of the responses uniformly at random —
+/// the paper's protocol for de-regularizing the IC dataset.
+data::ResponseMatrix RemoveResponses(const data::ResponseMatrix& matrix,
+                                     double fraction, Random* rng);
+
+}  // namespace crowd::sim
+
+#endif  // CROWD_SIM_SIMULATOR_H_

@@ -1,0 +1,67 @@
+#include "stats/delta_method.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowd::stats {
+
+namespace {
+
+Result<double> QuadraticForm(const linalg::Vector& v,
+                             const linalg::Matrix& c,
+                             double negative_tol) {
+  if (c.rows() != v.size() || c.cols() != v.size()) {
+    return Status::Invalid(StrFormat(
+        "covariance shape (%zu x %zu) does not match gradient size %zu",
+        c.rows(), c.cols(), v.size()));
+  }
+  double sum = 0.0;
+  double abs_sum = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = 0; j < v.size(); ++j) {
+      double term = v[i] * v[j] * c(i, j);
+      sum += term;
+      abs_sum += std::fabs(term);
+    }
+  }
+  if (!std::isfinite(sum)) {
+    return Status::NumericalError("quadratic form is not finite");
+  }
+  if (sum < 0.0) {
+    if (sum < -negative_tol * std::max(abs_sum, 1e-300)) {
+      return Status::NumericalError(StrFormat(
+          "variance estimate is negative (%.6g); covariance estimates "
+          "are inconsistent",
+          sum));
+    }
+    sum = 0.0;  // Harmless round-off from an estimated covariance.
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<double> DeltaDeviation(const linalg::Vector& gradient,
+                              const linalg::Matrix& covariance,
+                              double negative_tol) {
+  CROWD_ASSIGN_OR_RETURN(
+      double variance, QuadraticForm(gradient, covariance, negative_tol));
+  return std::sqrt(variance);
+}
+
+Result<ConfidenceInterval> DeltaInterval(const LinearizedEstimate& estimate,
+                                         const linalg::Matrix& covariance,
+                                         double confidence) {
+  CROWD_ASSIGN_OR_RETURN(double deviation,
+                         DeltaDeviation(estimate.gradient, covariance));
+  return NormalInterval(estimate.value, deviation, confidence);
+}
+
+Result<double> WeightedSumVariance(const linalg::Vector& weights,
+                                   const linalg::Matrix& covariance,
+                                   double negative_tol) {
+  return QuadraticForm(weights, covariance, negative_tol);
+}
+
+}  // namespace crowd::stats

@@ -1,0 +1,53 @@
+// The delta-method engine implementing Theorem 1 of the paper:
+//
+//   Y = f(X_1, ..., X_k),  E[X_i] = e_i,  Cov(X_i, X_j) = c_ij,
+//   f locally linear with gradient d at e
+//     =>  E[Y] ~= f(e),  Dev(Y) = sqrt(d^T C d),
+//         CI(Y, c) = [E[Y] - z Dev, E[Y] + z Dev],  z = Phi^{-1}((1+c)/2).
+//
+// Every confidence interval in the library (binary A1/A2 and k-ary A3)
+// flows through this one implementation.
+
+#ifndef CROWD_STATS_DELTA_METHOD_H_
+#define CROWD_STATS_DELTA_METHOD_H_
+
+#include "linalg/matrix.h"
+#include "stats/intervals.h"
+#include "util/result.h"
+
+namespace crowd::stats {
+
+/// \brief A linearized random variable: its mean f(e) and the gradient
+/// of f at e. Combined with a covariance matrix it yields a deviation
+/// and confidence intervals.
+struct LinearizedEstimate {
+  /// f(e_1, ..., e_k).
+  double value = 0.0;
+  /// d_i = partial f / partial e_i.
+  linalg::Vector gradient;
+};
+
+/// \brief Dev(Y) = sqrt(d^T C d).
+///
+/// `covariance` must be k x k with k = gradient size. Small negative
+/// quadratic forms (from estimated, not exactly PSD covariances) are
+/// clamped to zero; strongly negative ones fail with NumericalError.
+Result<double> DeltaDeviation(const linalg::Vector& gradient,
+                              const linalg::Matrix& covariance,
+                              double negative_tol = 1e-6);
+
+/// \brief The full Theorem-1 interval for Y = f(X).
+Result<ConfidenceInterval> DeltaInterval(const LinearizedEstimate& estimate,
+                                         const linalg::Matrix& covariance,
+                                         double confidence);
+
+/// \brief Variance of a weighted sum  sum_i a_i Y_i  with covariance C:
+/// a^T C a. Used when combining per-triple estimates (Step 3 of
+/// Algorithm A2).
+Result<double> WeightedSumVariance(const linalg::Vector& weights,
+                                   const linalg::Matrix& covariance,
+                                   double negative_tol = 1e-6);
+
+}  // namespace crowd::stats
+
+#endif  // CROWD_STATS_DELTA_METHOD_H_

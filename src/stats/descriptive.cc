@@ -1,0 +1,85 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowd::stats {
+
+Result<double> Mean(const std::vector<double>& sample) {
+  if (sample.empty()) return Status::Invalid("Mean of empty sample");
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+Result<double> Variance(const std::vector<double>& sample) {
+  if (sample.size() < 2) {
+    return Status::Invalid("Variance requires at least two samples");
+  }
+  CROWD_ASSIGN_OR_RETURN(double mean, Mean(sample));
+  double sum_sq = 0.0;
+  for (double x : sample) sum_sq += (x - mean) * (x - mean);
+  return sum_sq / static_cast<double>(sample.size() - 1);
+}
+
+Result<double> StdDev(const std::vector<double>& sample) {
+  CROWD_ASSIGN_OR_RETURN(double var, Variance(sample));
+  return std::sqrt(var);
+}
+
+Result<double> Quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return Status::Invalid("Quantile of empty sample");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::Invalid("Quantile requires q in [0, 1]");
+  }
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  double position = q * static_cast<double>(sample.size() - 1);
+  size_t lo = static_cast<size_t>(position);
+  size_t hi = std::min(lo + 1, sample.size() - 1);
+  double frac = position - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+Result<double> Median(std::vector<double> sample) {
+  return Quantile(std::move(sample), 0.5);
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace crowd::stats

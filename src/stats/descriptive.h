@@ -1,0 +1,58 @@
+// Descriptive statistics over samples: means, variances, quantiles and
+// a streaming accumulator. Used by the experiment harness to aggregate
+// repeated trials.
+
+#ifndef CROWD_STATS_DESCRIPTIVE_H_
+#define CROWD_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowd::stats {
+
+/// Arithmetic mean; requires a non-empty sample.
+Result<double> Mean(const std::vector<double>& sample);
+
+/// Unbiased sample variance (n-1 denominator); requires n >= 2.
+Result<double> Variance(const std::vector<double>& sample);
+
+/// sqrt(Variance).
+Result<double> StdDev(const std::vector<double>& sample);
+
+/// Linear-interpolation quantile, q in [0, 1]; requires non-empty.
+Result<double> Quantile(std::vector<double> sample, double q);
+
+/// Median (Quantile 0.5).
+Result<double> Median(std::vector<double> sample);
+
+/// \brief Welford streaming accumulator for mean/variance without
+/// storing samples.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  /// 0.0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased variance; 0.0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Pools another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crowd::stats
+
+#endif  // CROWD_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,67 @@
+#include "stats/intervals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/string_util.h"
+
+namespace crowd::stats {
+
+ConfidenceInterval ConfidenceInterval::ClampTo(double bound_lo,
+                                               double bound_hi) const {
+  ConfidenceInterval out = *this;
+  out.lo = std::clamp(lo, bound_lo, bound_hi);
+  out.hi = std::clamp(hi, bound_lo, bound_hi);
+  return out;
+}
+
+std::string ConfidenceInterval::ToString() const {
+  return StrFormat("[%.4f, %.4f] @%.0f%%", lo, hi, confidence * 100.0);
+}
+
+Result<ConfidenceInterval> NormalInterval(double mean, double deviation,
+                                          double confidence) {
+  if (deviation < 0.0 || !std::isfinite(deviation)) {
+    return Status::Invalid(
+        StrFormat("deviation must be finite and >= 0, got %g", deviation));
+  }
+  CROWD_ASSIGN_OR_RETURN(double z, TwoSidedZ(confidence));
+  ConfidenceInterval ci;
+  ci.lo = mean - z * deviation;
+  ci.hi = mean + z * deviation;
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> WaldInterval(int successes, int trials,
+                                        double confidence) {
+  if (trials <= 0 || successes < 0 || successes > trials) {
+    return Status::Invalid("WaldInterval: invalid counts");
+  }
+  double p = static_cast<double>(successes) / trials;
+  double deviation = std::sqrt(p * (1.0 - p) / trials);
+  return NormalInterval(p, deviation, confidence);
+}
+
+Result<ConfidenceInterval> WilsonInterval(int successes, int trials,
+                                          double confidence) {
+  if (trials <= 0 || successes < 0 || successes > trials) {
+    return Status::Invalid("WilsonInterval: invalid counts");
+  }
+  CROWD_ASSIGN_OR_RETURN(double z, TwoSidedZ(confidence));
+  double n = trials;
+  double p = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (p + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ConfidenceInterval ci;
+  ci.lo = center - half;
+  ci.hi = center + half;
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace crowd::stats

@@ -1,0 +1,52 @@
+// Confidence-interval types and classical binomial intervals (Wald,
+// Wilson). The classical intervals serve two purposes: they are the
+// gold-standard evaluator (what you could do if you *had* ground
+// truth), and a correctness reference in tests.
+
+#ifndef CROWD_STATS_INTERVALS_H_
+#define CROWD_STATS_INTERVALS_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace crowd::stats {
+
+/// \brief A two-sided confidence interval [lo, hi] at a stated
+/// confidence level.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// The nominal coverage (e.g. 0.95), not a posterior probability.
+  double confidence = 0.0;
+
+  double center() const { return 0.5 * (lo + hi); }
+  double size() const { return hi - lo; }
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+
+  /// The interval intersected with [bound_lo, bound_hi]; useful when
+  /// the estimand is a probability. Degenerate results collapse to the
+  /// nearest bound.
+  ConfidenceInterval ClampTo(double bound_lo, double bound_hi) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Interval centered on `mean` with half-width z(c) * deviation,
+/// the form produced by Theorem 1 (Equation 2 of the paper).
+Result<ConfidenceInterval> NormalInterval(double mean, double deviation,
+                                          double confidence);
+
+/// \brief Wald binomial interval for a success probability given
+/// `successes` out of `trials`.
+Result<ConfidenceInterval> WaldInterval(int successes, int trials,
+                                        double confidence);
+
+/// \brief Wilson score interval; strictly inside (0, 1) and accurate
+/// for small samples and extreme rates.
+Result<ConfidenceInterval> WilsonInterval(int successes, int trials,
+                                          double confidence);
+
+}  // namespace crowd::stats
+
+#endif  // CROWD_STATS_INTERVALS_H_

@@ -1,0 +1,80 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowd::stats {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014326779399461;
+constexpr double kSqrt2 = 1.4142135623730950488016887;
+
+// Acklam's rational approximation to the inverse normal CDF
+// (relative error < 1.15e-9 before refinement).
+double AcklamQuantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double NormalPdf(double x) {
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+Result<double> NormalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::Invalid(
+        StrFormat("NormalQuantile requires 0 < p < 1, got %g", p));
+  }
+  double x = AcklamQuantile(p);
+  // One Halley refinement: solves Phi(x) - p = 0.
+  double e = NormalCdf(x) - p;
+  double u = e / NormalPdf(x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+Result<double> TwoSidedZ(double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::Invalid(StrFormat(
+        "confidence level must be in (0, 1), got %g", confidence));
+  }
+  return NormalQuantile(0.5 * (1.0 + confidence));
+}
+
+}  // namespace crowd::stats

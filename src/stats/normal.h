@@ -1,0 +1,29 @@
+// The standard normal distribution: density, CDF and quantile
+// (inverse CDF). The quantile is Acklam's rational approximation
+// polished with one Halley step against the erfc-based CDF, giving
+// ~1e-15 relative accuracy — the z_t of Theorem 1 is the multiplier on
+// every confidence interval the library emits, so it must be accurate.
+
+#ifndef CROWD_STATS_NORMAL_H_
+#define CROWD_STATS_NORMAL_H_
+
+#include "util/result.h"
+
+namespace crowd::stats {
+
+/// Standard normal density at x.
+double NormalPdf(double x);
+
+/// Standard normal CDF at x.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF; requires 0 < p < 1.
+Result<double> NormalQuantile(double p);
+
+/// The z multiplier for a two-sided c-confidence interval:
+/// z = Phi^{-1}((1 + c) / 2). Requires 0 < c < 1.
+Result<double> TwoSidedZ(double confidence);
+
+}  // namespace crowd::stats
+
+#endif  // CROWD_STATS_NORMAL_H_

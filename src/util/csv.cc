@@ -1,0 +1,147 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace crowd {
+
+namespace {
+
+// Splits one CSV record, honoring double-quoted fields with "" escapes.
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::IoError("unterminated quote in CSV record: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  return field.find(sep) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field, char sep) {
+  if (!NeedsQuoting(field, sep)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("CSV column not found: " + name);
+}
+
+Result<CsvTable> ParseCsv(const std::string& text, char sep) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    CROWD_ASSIGN_OR_RETURN(auto fields, SplitRecord(line, sep));
+    if (table.header.empty()) {
+      table.header = std::move(fields);
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::IoError(StrFormat(
+            "CSV row %zu has %zu fields, header has %zu", line_no,
+            fields.size(), table.header.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (table.header.empty()) {
+    return Status::IoError("CSV input has no header row");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, char sep) {
+  CROWD_ASSIGN_OR_RETURN(auto text, ReadFileToString(path));
+  auto result = ParseCsv(text, sep);
+  if (!result.ok()) {
+    return result.status().WithContext("while reading " + path);
+  }
+  return result;
+}
+
+std::string WriteCsv(const CsvTable& table, char sep) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(sep);
+      out += QuoteField(row[i], sep);
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char sep) {
+  return WriteStringToFile(WriteCsv(table, sep), path);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on file: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open file for write: " + path);
+  file << contents;
+  if (!file) return Status::IoError("write failure on file: " + path);
+  return Status::OK();
+}
+
+}  // namespace crowd

@@ -1,0 +1,49 @@
+// A small strict CSV reader/writer used for dataset I/O. Supports
+// comment lines (leading '#'), a required header row, and quoted fields
+// containing separators. This is deliberately minimal: datasets in this
+// project are rectangular tables of short tokens.
+
+#ifndef CROWD_UTIL_CSV_H_
+#define CROWD_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowd {
+
+/// \brief An in-memory CSV table: one header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+};
+
+/// \brief Parses CSV text. Every row must have the same number of
+/// fields as the header; violations produce an IoError.
+Result<CsvTable> ParseCsv(const std::string& text, char sep = ',');
+
+/// \brief Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, char sep = ',');
+
+/// \brief Serializes a table; fields containing the separator, quotes
+/// or newlines are quoted.
+std::string WriteCsv(const CsvTable& table, char sep = ',');
+
+/// \brief Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char sep = ',');
+
+/// \brief Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes a string to a file, truncating.
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path);
+
+}  // namespace crowd
+
+#endif  // CROWD_UTIL_CSV_H_

@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace crowd {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CROWDEVAL_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LevelStore().load());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories for compact output.
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace crowd

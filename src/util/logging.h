@@ -1,0 +1,82 @@
+// Minimal leveled logging and check macros, in the spirit of
+// RocksDB/Arrow internal logging. Logging goes to stderr; the level is
+// process-global and settable programmatically or via the
+// CROWDEVAL_LOG_LEVEL environment variable (DEBUG/INFO/WARNING/ERROR).
+
+#ifndef CROWD_UTIL_LOGGING_H_
+#define CROWD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crowd {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal logs abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crowd
+
+#define CROWD_LOG_INTERNAL(level) \
+  ::crowd::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define CROWD_LOG_DEBUG CROWD_LOG_INTERNAL(::crowd::LogLevel::kDebug)
+#define CROWD_LOG_INFO CROWD_LOG_INTERNAL(::crowd::LogLevel::kInfo)
+#define CROWD_LOG_WARNING CROWD_LOG_INTERNAL(::crowd::LogLevel::kWarning)
+#define CROWD_LOG_ERROR CROWD_LOG_INTERNAL(::crowd::LogLevel::kError)
+
+/// Internal invariant check; aborts with a message when violated.
+/// Active in all build types (cheap conditions only).
+#define CROWD_CHECK(condition)                                      \
+  if (!(condition))                                                 \
+  CROWD_LOG_INTERNAL(::crowd::LogLevel::kFatal)                     \
+      << "Check failed: " #condition " "
+
+#define CROWD_CHECK_OP(op, a, b)                                  \
+  if (!((a)op(b)))                                                \
+  CROWD_LOG_INTERNAL(::crowd::LogLevel::kFatal)                   \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+      << (b) << ") "
+
+#define CROWD_CHECK_EQ(a, b) CROWD_CHECK_OP(==, a, b)
+#define CROWD_CHECK_NE(a, b) CROWD_CHECK_OP(!=, a, b)
+#define CROWD_CHECK_LT(a, b) CROWD_CHECK_OP(<, a, b)
+#define CROWD_CHECK_LE(a, b) CROWD_CHECK_OP(<=, a, b)
+#define CROWD_CHECK_GT(a, b) CROWD_CHECK_OP(>, a, b)
+#define CROWD_CHECK_GE(a, b) CROWD_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define CROWD_DCHECK(condition) \
+  while (false) CROWD_CHECK(condition)
+#else
+#define CROWD_DCHECK(condition) CROWD_CHECK(condition)
+#endif
+
+#endif  // CROWD_UTIL_LOGGING_H_

@@ -1,0 +1,81 @@
+// Result<T>: the value-or-error companion of Status, modeled on
+// arrow::Result. A Result is either a T or a non-OK Status; accessing
+// the value of an errored Result aborts (library bug).
+
+#ifndef CROWD_UTIL_RESULT_H_
+#define CROWD_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace crowd {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status. Constructing from an OK status is a
+  /// programming error and becomes an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from an OK Status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; abort if the Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alternative` when errored.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) std::get<Status>(repr_).Abort();
+  }
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace crowd
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error to the caller. `lhs` may include a declaration:
+///   CROWD_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define CROWD_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define CROWD_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CROWD_ASSIGN_OR_RETURN_IMPL(CROWD_CONCAT(_crowd_result_, __COUNTER__), \
+                              lhs, rexpr)
+
+#endif  // CROWD_UTIL_RESULT_H_

@@ -1,0 +1,64 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crowd {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kInsufficientData:
+      return "Insufficient data";
+    case StatusCode::kNumericalError:
+      return "Numerical error";
+    case StatusCode::kIoError:
+      return "I/O error";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kNotFound:
+      return "Not found";
+  }
+  return "Unknown code";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<State>(State{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(code()) + ": " + message();
+}
+
+void Status::Abort() const {
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace crowd

@@ -1,0 +1,125 @@
+// Status: lightweight error propagation in the style of Apache Arrow /
+// Abseil. Functions that can fail return `Status` (no payload) or
+// `Result<T>` (payload or error). Exceptions are not used anywhere in
+// the library.
+
+#ifndef CROWD_UTIL_STATUS_H_
+#define CROWD_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace crowd {
+
+/// \brief Machine-readable category for a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument violates the function contract.
+  kInvalidArgument = 1,
+  /// The input data cannot support the requested computation (e.g. a
+  /// worker pair with zero common tasks, an empty dataset).
+  kInsufficientData = 2,
+  /// A numerical step failed (singular matrix, negative value under a
+  /// square root, eigensolver non-convergence).
+  kNumericalError = 3,
+  /// An I/O operation failed (missing file, malformed CSV).
+  kIoError = 4,
+  /// Internal invariant broken; indicates a library bug.
+  kInternal = 5,
+  /// Requested entity (worker id, task id, column) does not exist.
+  kNotFound = 6,
+};
+
+/// \brief Human-readable name of a status code ("Invalid argument", ...).
+std::string StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of an operation: OK, or a code plus message.
+///
+/// Status is cheap to copy when OK (single pointer, no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status InsufficientData(std::string message) {
+    return Status(StatusCode::kInsufficientData, std::move(message));
+  }
+  static Status NumericalError(std::string message) {
+    return Status(StatusCode::kNumericalError, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty when OK.
+  const std::string& message() const;
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsInsufficientData() const {
+    return code() == StatusCode::kInsufficientData;
+  }
+  bool IsNumericalError() const {
+    return code() == StatusCode::kNumericalError;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only in
+  /// tests, examples and main() functions.
+  void Abort() const;
+  void AbortIfNotOk() const {
+    if (!ok()) Abort();
+  }
+
+  /// Prepends context to the message of a non-OK status; no-op when OK.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; shared so that copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace crowd
+
+/// Propagates a non-OK Status to the caller.
+#define CROWD_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::crowd::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define CROWD_CONCAT_IMPL(x, y) x##y
+#define CROWD_CONCAT(x, y) CROWD_CONCAT_IMPL(x, y)
+
+#endif  // CROWD_UTIL_STATUS_H_

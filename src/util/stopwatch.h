@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for experiment timing (header-only).
+
+#ifndef CROWD_UTIL_STOPWATCH_H_
+#define CROWD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace crowd {
+
+/// \brief A restartable wall-clock timer.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowd
+
+#endif  // CROWD_UTIL_STOPWATCH_H_

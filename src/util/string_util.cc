@@ -1,0 +1,98 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace crowd {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // vsnprintf writes the terminating NUL into needed+1 bytes; C++11
+    // strings guarantee data()[size()] is writable as '\0'.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  const char* ws = " \t\r\n\v\f";
+  size_t begin = text.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  size_t end = text.find_last_not_of(ws);
+  return text.substr(begin, end - begin + 1);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+Result<double> ParseDouble(std::string_view token) {
+  std::string buf(Trim(token));
+  if (buf.empty()) return Status::Invalid("empty numeric token");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::Invalid("numeric token out of range: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::Invalid("malformed numeric token: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<long long> ParseInt(std::string_view token) {
+  std::string buf(Trim(token));
+  if (buf.empty()) return Status::Invalid("empty integer token");
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::Invalid("integer token out of range: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::Invalid("malformed integer token: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace crowd

@@ -1,0 +1,39 @@
+// Small string helpers shared across the library: formatting, splitting,
+// trimming and number parsing (locale-independent).
+
+#ifndef CROWD_UTIL_STRING_UTIL_H_
+#define CROWD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace crowd {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Whether `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Locale-independent strict parsers: the whole (trimmed) token must be
+/// consumed, otherwise an Invalid status is returned.
+Result<double> ParseDouble(std::string_view token);
+Result<long long> ParseInt(std::string_view token);
+
+/// Joins the elements with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+}  // namespace crowd
+
+#endif  // CROWD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,204 @@
+// Tests for the baselines: majority vote, gold-standard scoring, the
+// old (KDD'13) technique and Dawid-Skene EM.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dawid_skene.h"
+#include "baselines/gold_standard.h"
+#include "baselines/majority_vote.h"
+#include "baselines/old_technique.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::baselines {
+namespace {
+
+data::ResponseMatrix SmallMatrix() {
+  // 3 workers x 4 binary tasks; w2 disagrees on tasks 1 and 3.
+  data::ResponseMatrix m(3, 4, 2);
+  int rows[3][4] = {{0, 1, 1, 0}, {0, 1, 1, 0}, {0, 0, 1, 1}};
+  for (data::WorkerId w = 0; w < 3; ++w) {
+    for (data::TaskId t = 0; t < 4; ++t) {
+      m.Set(w, t, rows[w][t]).AbortIfNotOk();
+    }
+  }
+  return m;
+}
+
+TEST(MajorityVote, LabelsAndTies) {
+  auto labels = MajorityLabels(SmallMatrix());
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(*labels[0], 0);
+  EXPECT_EQ(*labels[1], 1);
+  EXPECT_EQ(*labels[2], 1);
+  EXPECT_EQ(*labels[3], 0);
+
+  // Tie on a task answered by two disagreeing workers: smaller label.
+  data::ResponseMatrix tie(2, 1, 2);
+  tie.Set(0, 0, 1).AbortIfNotOk();
+  tie.Set(1, 0, 0).AbortIfNotOk();
+  EXPECT_EQ(*MajorityLabels(tie)[0], 0);
+
+  // Unanswered task has no label.
+  data::ResponseMatrix empty(2, 1, 2);
+  EXPECT_FALSE(MajorityLabels(empty)[0].has_value());
+}
+
+TEST(MajorityVote, ProxyErrorRates) {
+  auto rates = MajorityProxyErrorRates(SmallMatrix(),
+                                       /*exclude_self=*/false);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(*rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(*rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(*rates[2], 0.5);
+}
+
+TEST(MajorityVote, ExcludeSelfAvoidsSelfAgreement) {
+  // Two workers: with self included each "agrees with the majority"
+  // whenever they break a tie in their own favor; excluding self, a
+  // disagreement task scores against both.
+  data::ResponseMatrix m(2, 2, 2);
+  m.Set(0, 0, 0).AbortIfNotOk();
+  m.Set(1, 0, 1).AbortIfNotOk();
+  m.Set(0, 1, 1).AbortIfNotOk();
+  m.Set(1, 1, 1).AbortIfNotOk();
+  auto rates = MajorityProxyErrorRates(m, /*exclude_self=*/true);
+  EXPECT_DOUBLE_EQ(*rates[0], 0.5);  // Disagrees with w1 on task 0.
+  EXPECT_DOUBLE_EQ(*rates[1], 0.5);
+}
+
+TEST(GoldStandard, ScoresAgainstGold) {
+  data::Dataset dataset("g", SmallMatrix());
+  dataset.SetGold(0, 0).AbortIfNotOk();
+  dataset.SetGold(1, 1).AbortIfNotOk();
+  dataset.SetGold(2, 1).AbortIfNotOk();
+  dataset.SetGold(3, 0).AbortIfNotOk();
+  auto assessment = EvaluateWorkerAgainstGold(dataset, 2, 0.9);
+  ASSERT_TRUE(assessment.ok());
+  EXPECT_EQ(assessment->attempted, 4);
+  EXPECT_EQ(assessment->wrong, 2);
+  EXPECT_DOUBLE_EQ(assessment->error_rate, 0.5);
+  EXPECT_TRUE(assessment->wilson.Contains(0.5));
+
+  auto all = EvaluateAllAgainstGold(dataset, 0.9);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(
+      EvaluateWorkerAgainstGold(dataset, 9, 0.9).status().IsInvalid());
+}
+
+TEST(OldTechnique, ThreeWorkerIntervalContainsTruthOnEasyData) {
+  Random rng(3);
+  sim::BinarySimConfig config;
+  config.num_workers = 3;
+  config.num_tasks = 2000;
+  config.pool.error_rates = {0.15};
+  auto sim = sim::SimulateBinary(config, &rng);
+  OldTechniqueOptions options;
+  options.confidence = 0.95;
+  auto result =
+      OldThreeWorkerEvaluate(sim.dataset.responses(), 0, 1, 2, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->error_rate, 0.15, 0.04);
+  EXPECT_TRUE(result->interval.Contains(0.15));
+}
+
+TEST(OldTechnique, RequiresBinaryAndRegular) {
+  data::ResponseMatrix kary(3, 4, 3);
+  OldTechniqueOptions options;
+  EXPECT_TRUE(
+      OldThreeWorkerEvaluate(kary, 0, 1, 2, options).status().IsInvalid());
+
+  // Non-regular data rejected by the m-worker variant.
+  data::ResponseMatrix holes = SmallMatrix();
+  holes.Clear(0, 0);
+  EXPECT_TRUE(OldMWorkerEvaluate(holes, options).status().IsInvalid());
+
+  data::ResponseMatrix two(2, 4, 2);
+  for (data::TaskId t = 0; t < 4; ++t) {
+    two.Set(0, t, 0).AbortIfNotOk();
+    two.Set(1, t, 0).AbortIfNotOk();
+  }
+  EXPECT_TRUE(
+      OldMWorkerEvaluate(two, options).status().IsInsufficientData());
+}
+
+TEST(OldTechnique, SuperWorkerPathEvaluatesAllWorkers) {
+  Random rng(5);
+  sim::BinarySimConfig config;
+  config.num_workers = 7;
+  config.num_tasks = 400;
+  auto sim = sim::SimulateBinary(config, &rng);
+  OldTechniqueOptions options;
+  options.confidence = 0.8;
+  auto result = OldMWorkerEvaluate(sim.dataset.responses(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 7u);
+  for (const auto& a : *result) {
+    EXPECT_GE(a.interval.lo, 0.0);
+    EXPECT_LE(a.interval.hi, 0.5);
+    EXPECT_NEAR(a.error_rate, sim.true_error_rates[a.worker], 0.15);
+  }
+}
+
+TEST(DawidSkene, PerfectWorkersYieldNearPerfectConfusion) {
+  Random rng(7);
+  sim::BinarySimConfig config;
+  config.num_workers = 5;
+  config.num_tasks = 400;
+  config.pool.error_rates = {0.02};
+  auto sim = sim::SimulateBinary(config, &rng);
+  auto model = FitDawidSkene(sim.dataset.responses());
+  ASSERT_TRUE(model.ok());
+  for (size_t w = 0; w < 5; ++w) {
+    EXPECT_LT(model->WorkerErrorRate(w), 0.06);
+  }
+  // Labels essentially match the gold truth.
+  size_t wrong = 0;
+  for (data::TaskId t = 0; t < 400; ++t) {
+    if (model->labels[t] != *sim.dataset.Gold(t)) ++wrong;
+  }
+  EXPECT_LT(wrong, 8u);
+}
+
+TEST(DawidSkene, KaryConfusionRecovery) {
+  Random rng(9);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_tasks = 4000;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  auto model = FitDawidSkene(sim->dataset.responses());
+  ASSERT_TRUE(model.ok());
+  // EM has label-permutation ambiguity in principle, but majority
+  // initialization pins the labeling here; allow a loose tolerance.
+  for (size_t w = 0; w < 3; ++w) {
+    EXPECT_LT(model->confusion[w].MaxAbsDiff(sim->true_matrices[w]),
+              0.15);
+  }
+}
+
+TEST(DawidSkene, EmptyTaskRejected) {
+  data::ResponseMatrix m(2, 2, 2);
+  m.Set(0, 0, 1).AbortIfNotOk();
+  EXPECT_TRUE(FitDawidSkene(m).status().IsInsufficientData());
+}
+
+TEST(DawidSkene, LikelihoodNonDecreasingAcrossRuns) {
+  Random rng(11);
+  sim::BinarySimConfig config;
+  config.num_workers = 5;
+  config.num_tasks = 200;
+  auto sim = sim::SimulateBinary(config, &rng);
+  DawidSkeneOptions few;
+  few.max_iterations = 2;
+  DawidSkeneOptions many;
+  many.max_iterations = 50;
+  auto short_run = FitDawidSkene(sim.dataset.responses(), few);
+  auto long_run = FitDawidSkene(sim.dataset.responses(), many);
+  ASSERT_TRUE(short_run.ok());
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_GE(long_run->log_likelihood, short_run->log_likelihood - 1e-9);
+}
+
+}  // namespace
+}  // namespace crowd::baselines

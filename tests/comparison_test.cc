@@ -1,0 +1,144 @@
+// Paper-level comparative claims as tests: the headline relationships
+// between methods that the evaluation figures report must hold on
+// fresh simulated data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/old_technique.h"
+#include "core/m_worker.h"
+#include "experiments/runner.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+#include "stats/normal.h"
+
+namespace crowd {
+namespace {
+
+// Figure 1's claim: at equal n, m and c, the new technique's intervals
+// are substantially tighter than the old technique's. (Sizes compare
+// intervals clipped to the admissible [0, 1/2] domain, as in the
+// bench.)
+TEST(Comparison, NewIntervalsBeatOldIntervals) {
+  const double confidence = 0.5;
+  const double z = *stats::TwoSidedZ(confidence);
+  double new_total = 0.0, old_total = 0.0;
+  size_t new_count = 0, old_count = 0;
+
+  experiments::RepeatTrials(80, 0xF161, [&](int, Random* rng) {
+    sim::BinarySimConfig config;
+    config.num_workers = 3;
+    config.num_tasks = 100;
+    auto sim = sim::SimulateBinary(config, rng);
+
+    core::BinaryOptions options;
+    options.confidence = confidence;
+    auto new_result =
+        core::MWorkerEvaluate(sim.dataset.responses(), options);
+    if (new_result.ok()) {
+      for (const auto& a : new_result->assessments) {
+        double lo = std::max(0.0, a.error_rate - z * a.deviation);
+        double hi = std::min(0.5, a.error_rate + z * a.deviation);
+        new_total += std::max(0.0, hi - lo);
+        ++new_count;
+      }
+    }
+    baselines::OldTechniqueOptions old_options;
+    old_options.confidence = confidence;
+    auto old_result = baselines::OldMWorkerEvaluate(
+        sim.dataset.responses(), old_options);
+    if (old_result.ok()) {
+      for (const auto& a : *old_result) {
+        old_total += a.interval.size();
+        ++old_count;
+      }
+    }
+  });
+  ASSERT_GT(new_count, 100u);
+  ASSERT_GT(old_count, 100u);
+  double new_mean = new_total / static_cast<double>(new_count);
+  double old_mean = old_total / static_cast<double>(old_count);
+  // The paper reports ~40% reduction at c = 0.5, m = 3, n = 100.
+  EXPECT_LT(new_mean, 0.75 * old_mean)
+      << "new " << new_mean << " vs old " << old_mean;
+}
+
+// Figure 2(b)'s claim: interval size shrinks as density grows, for
+// fixed n, m, c.
+TEST(Comparison, IntervalSizeDecreasesWithDensity) {
+  auto mean_dev_at = [&](double density) {
+    double total = 0.0;
+    int count = 0;
+    experiments::RepeatTrials(40, 0xF162, [&](int, Random* rng) {
+      sim::BinarySimConfig config;
+      config.num_workers = 7;
+      config.num_tasks = 300;
+      config.assignment = sim::AssignmentConfig::Iid(density);
+      auto sim = sim::SimulateBinary(config, rng);
+      core::BinaryOptions options;
+      auto result =
+          core::MWorkerEvaluate(sim.dataset.responses(), options);
+      if (!result.ok()) return;
+      for (const auto& a : result->assessments) {
+        total += a.deviation;
+        ++count;
+      }
+    });
+    return total / count;
+  };
+  double at_half = mean_dev_at(0.5);
+  double at_three_quarters = mean_dev_at(0.75);
+  double at_full = mean_dev_at(1.0);
+  EXPECT_GT(at_half, at_three_quarters);
+  EXPECT_GT(at_three_quarters, at_full);
+}
+
+// Both techniques contain the truth at roughly their nominal rate on
+// iid data — the old technique is valid, just wasteful; that waste is
+// the paper's point.
+TEST(Comparison, BothTechniquesCoverOnIidData) {
+  const double confidence = 0.8;
+  size_t new_covered = 0, new_total = 0;
+  size_t old_covered = 0, old_total = 0;
+  experiments::RepeatTrials(120, 0xF163, [&](int, Random* rng) {
+    sim::BinarySimConfig config;
+    config.num_workers = 5;
+    config.num_tasks = 200;
+    auto sim = sim::SimulateBinary(config, rng);
+
+    core::BinaryOptions options;
+    options.confidence = confidence;
+    auto new_result =
+        core::MWorkerEvaluate(sim.dataset.responses(), options);
+    if (new_result.ok()) {
+      for (const auto& a : new_result->assessments) {
+        ++new_total;
+        if (a.interval.Contains(sim.true_error_rates[a.worker])) {
+          ++new_covered;
+        }
+      }
+    }
+    baselines::OldTechniqueOptions old_options;
+    old_options.confidence = confidence;
+    auto old_result = baselines::OldMWorkerEvaluate(
+        sim.dataset.responses(), old_options);
+    if (old_result.ok()) {
+      for (const auto& a : *old_result) {
+        ++old_total;
+        if (a.interval.Contains(sim.true_error_rates[a.worker])) {
+          ++old_covered;
+        }
+      }
+    }
+  });
+  double new_rate =
+      static_cast<double>(new_covered) / static_cast<double>(new_total);
+  double old_rate =
+      static_cast<double>(old_covered) / static_cast<double>(old_total);
+  EXPECT_NEAR(new_rate, confidence, 0.08);
+  EXPECT_GE(old_rate, confidence - 0.05);  // Old may over-cover.
+}
+
+}  // namespace
+}  // namespace crowd

@@ -1,0 +1,261 @@
+// Tests for the binary core: agreement clamping, the triangulation
+// formula and its Lemma 2 gradient (checked against finite
+// differences), the Lemma 3 covariances (checked against brute-force
+// simulation) and Algorithm A1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/agreement.h"
+#include "core/spammer_filter.h"
+#include "core/three_worker.h"
+#include "core/triangulation.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+#include "stats/descriptive.h"
+
+namespace crowd::core {
+namespace {
+
+TEST(Agreement, RateAndClamping) {
+  data::ResponseMatrix m(2, 10, 2);
+  for (data::TaskId t = 0; t < 10; ++t) {
+    m.Set(0, t, 0).AbortIfNotOk();
+    m.Set(1, t, t < 3 ? 0 : 1).AbortIfNotOk();  // Agree on 3/10.
+  }
+  data::OverlapIndex overlap(m);
+  auto pair = ComputePairAgreement(overlap, 0, 1, 0.01);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_DOUBLE_EQ(pair->q_raw, 0.3);
+  EXPECT_DOUBLE_EQ(pair->q, 0.51);  // Clamped to 0.5 + margin.
+  EXPECT_TRUE(pair->clamped);
+  EXPECT_EQ(pair->common, 10u);
+}
+
+TEST(Agreement, NoOverlapIsError) {
+  data::ResponseMatrix m(2, 2, 2);
+  m.Set(0, 0, 0).AbortIfNotOk();
+  m.Set(1, 1, 0).AbortIfNotOk();
+  data::OverlapIndex overlap(m);
+  EXPECT_TRUE(ComputePairAgreement(overlap, 0, 1, 0.01)
+                  .status()
+                  .IsInsufficientData());
+}
+
+TEST(Triangulation, ExactOnConsistentRates) {
+  // Plant p = (0.1, 0.2, 0.3); q_ij = p_i p_j + (1-p_i)(1-p_j).
+  const double p1 = 0.1, p2 = 0.2, p3 = 0.3;
+  auto q = [](double a, double b) { return a * b + (1 - a) * (1 - b); };
+  auto result = TriangulateErrorRate(q(p1, p2), q(p1, p3), q(p2, p3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*result, p1, 1e-12);
+  // Rotated roles recover the other workers.
+  EXPECT_NEAR(*TriangulateErrorRate(q(p1, p2), q(p2, p3), q(p1, p3)), p2,
+              1e-12);
+  EXPECT_NEAR(*TriangulateErrorRate(q(p1, p3), q(p2, p3), q(p1, p2)), p3,
+              1e-12);
+}
+
+TEST(Triangulation, PerfectWorkersHaveZeroError) {
+  auto result = TriangulateErrorRate(1.0, 1.0, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*result, 0.0, 1e-12);
+}
+
+TEST(Triangulation, DomainEnforced) {
+  EXPECT_TRUE(TriangulateErrorRate(0.5, 0.8, 0.8).status()
+                  .IsNumericalError());
+  EXPECT_TRUE(TriangulateErrorRate(0.8, 0.4, 0.8).status()
+                  .IsNumericalError());
+  EXPECT_TRUE(TriangulateErrorRate(0.8, 0.8, 1.01).status()
+                  .IsNumericalError());
+}
+
+// Lemma 2's closed-form gradient against central finite differences.
+TEST(TriangulationProperty, GradientMatchesFiniteDifferences) {
+  Random rng(3);
+  const double h = 1e-6;
+  for (int trial = 0; trial < 200; ++trial) {
+    double a = rng.Uniform(0.55, 0.95);
+    double b = rng.Uniform(0.55, 0.95);
+    double c = rng.Uniform(0.55, 0.95);
+    auto grad = TriangulateWithGradient(a, b, c);
+    ASSERT_TRUE(grad.ok());
+    auto fd = [&](double da, double db, double dc) {
+      return (*TriangulateErrorRate(a + da, b + db, c + dc) -
+              *TriangulateErrorRate(a - da, b - db, c - dc)) /
+             (2 * h);
+    };
+    EXPECT_NEAR(grad->d_q_ij, fd(h, 0, 0), 1e-5);
+    EXPECT_NEAR(grad->d_q_ik, fd(0, h, 0), 1e-5);
+    EXPECT_NEAR(grad->d_q_jk, fd(0, 0, h), 1e-5);
+    // Signs per Lemma 2.
+    EXPECT_LT(grad->d_q_ij, 0.0);
+    EXPECT_LT(grad->d_q_ik, 0.0);
+    EXPECT_GT(grad->d_q_jk, 0.0);
+  }
+}
+
+// Lemma 3's covariance formulas against brute-force simulation: draw
+// many datasets with fixed truth assignments, measure the empirical
+// covariance of the Q estimators and compare.
+TEST(TripleCovarianceProperty, MatchesBruteForceSimulation) {
+  const double p[3] = {0.15, 0.25, 0.3};
+  const size_t n = 60;
+  Random rng(17);
+
+  // Fixed non-regular attempt pattern.
+  std::vector<std::array<bool, 3>> attempts(n);
+  for (size_t t = 0; t < n; ++t) {
+    for (int w = 0; w < 3; ++w) attempts[t][w] = rng.Bernoulli(0.8);
+  }
+
+  const int trials = 60000;
+  double sum_q[3] = {0, 0, 0};
+  double sum_qq[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  // Pair order: (0,1), (0,2), (1,2).
+  const int pair_a[3] = {0, 0, 1};
+  const int pair_b[3] = {1, 2, 2};
+
+  for (int trial = 0; trial < trials; ++trial) {
+    int agree[3] = {0, 0, 0};
+    int common[3] = {0, 0, 0};
+    for (size_t t = 0; t < n; ++t) {
+      int truth = 0;
+      int response[3];
+      for (int w = 0; w < 3; ++w) {
+        response[w] = rng.Bernoulli(p[w]) ? 1 - truth : truth;
+      }
+      for (int pair = 0; pair < 3; ++pair) {
+        if (attempts[t][pair_a[pair]] && attempts[t][pair_b[pair]]) {
+          ++common[pair];
+          if (response[pair_a[pair]] == response[pair_b[pair]]) {
+            ++agree[pair];
+          }
+        }
+      }
+    }
+    double q[3];
+    for (int pair = 0; pair < 3; ++pair) {
+      q[pair] = static_cast<double>(agree[pair]) / common[pair];
+      sum_q[pair] += q[pair];
+    }
+    for (int x = 0; x < 3; ++x) {
+      for (int y = 0; y < 3; ++y) sum_qq[x][y] += q[x] * q[y];
+    }
+  }
+
+  // Build the analytic covariance via the production code path.
+  data::ResponseMatrix attempted(3, n, 2);
+  for (size_t t = 0; t < n; ++t) {
+    for (int w = 0; w < 3; ++w) {
+      if (attempts[t][w]) attempted.Set(w, t, 0).AbortIfNotOk();
+    }
+  }
+  data::OverlapIndex overlap(attempted);
+  TripleEstimate estimate;
+  estimate.i = 0;
+  estimate.j1 = 1;
+  estimate.j2 = 2;
+  auto fill = [&](PairAgreement* pa, int a, int b, double q_true) {
+    pa->a = a;
+    pa->b = b;
+    pa->common = overlap.CommonCount(a, b);
+    pa->q_raw = pa->q = q_true;
+  };
+  auto q_of = [&](int a, int b) {
+    return p[a] * p[b] + (1 - p[a]) * (1 - p[b]);
+  };
+  fill(&estimate.q_i_j1, 0, 1, q_of(0, 1));
+  fill(&estimate.q_i_j2, 0, 2, q_of(0, 2));
+  fill(&estimate.q_j1_j2, 1, 2, q_of(1, 2));
+  estimate.c_triple = overlap.TripleCommonCount(0, 1, 2);
+  estimate.p = p[0];
+  estimate.p_j1 = p[1];
+  estimate.p_j2 = p[2];
+  linalg::Matrix analytic = TripleCovariance(estimate);
+
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      double empirical = sum_qq[x][y] / trials -
+                         (sum_q[x] / trials) * (sum_q[y] / trials);
+      // Covariances are O(1e-3); require agreement within ~12%.
+      EXPECT_NEAR(empirical, analytic(x, y),
+                  0.12 * std::fabs(analytic(x, y)) + 2e-5)
+          << "entry (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(ThreeWorker, RequiresBinaryAndThreeWorkers) {
+  BinaryOptions options;
+  EXPECT_TRUE(ThreeWorkerEvaluate(data::ResponseMatrix(3, 4, 3), options)
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(ThreeWorkerEvaluate(data::ResponseMatrix(4, 4, 2), options)
+                  .status()
+                  .IsInvalid());
+}
+
+TEST(ThreeWorker, LemmaOneIsSpecialCaseOfLemmaThree) {
+  // On regular data, the Lemma 3 covariance with c_ij = c_ijk = n must
+  // reduce to Lemma 1's 1/n forms. The variance diagonal additionally
+  // carries the (documented) Agresti correction of O(1/n^2), so it is
+  // compared at that tolerance; the cross terms are exact.
+  TripleEstimate t;
+  t.q_i_j1 = {0, 1, 100, 0.8, 0.8, false};
+  t.q_i_j2 = {0, 2, 100, 0.75, 0.75, false};
+  t.q_j1_j2 = {1, 2, 100, 0.7, 0.7, false};
+  t.c_triple = 100;
+  t.p = 0.1;
+  t.p_j1 = 0.2;
+  t.p_j2 = 0.3;
+  linalg::Matrix cov = TripleCovariance(t);
+  EXPECT_NEAR(cov(0, 0), 0.8 * 0.2 / 100, 3.0 / (100.0 * 100.0));
+  EXPECT_NEAR(cov(1, 1), 0.75 * 0.25 / 100, 3.0 / (100.0 * 100.0));
+  EXPECT_NEAR(cov(2, 2), 0.7 * 0.3 / 100, 3.0 / (100.0 * 100.0));
+  EXPECT_NEAR(cov(0, 1), 0.1 * 0.9 * (2 * 0.7 - 1) / 100, 1e-15);
+  EXPECT_NEAR(cov(0, 2), 0.2 * 0.8 * (2 * 0.75 - 1) / 100, 1e-15);
+  EXPECT_NEAR(cov(1, 2), 0.3 * 0.7 * (2 * 0.8 - 1) / 100, 1e-15);
+}
+
+TEST(SpammerFilter, RemovesPlantedSpammers) {
+  Random rng(21);
+  sim::BinarySimConfig config;
+  config.num_workers = 12;
+  config.num_tasks = 400;
+  config.pool.error_rates = {0.1, 0.15};
+  config.pool.spammer_fraction = 0.3;
+  config.pool.spammer_lo = 0.48;
+  config.pool.spammer_hi = 0.52;
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  auto filtered = FilterSpammers(sim.dataset.responses());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->kept.size() + filtered->removed.size(), 12u);
+  for (auto w : filtered->removed) {
+    EXPECT_GT(sim.true_error_rates[w], 0.4) << "worker " << w;
+  }
+  for (auto w : filtered->kept) {
+    EXPECT_LT(sim.true_error_rates[w], 0.4) << "worker " << w;
+  }
+  EXPECT_EQ(filtered->filtered.num_workers(), filtered->kept.size());
+}
+
+TEST(SpammerFilter, ThresholdRespected) {
+  data::ResponseMatrix m(3, 2, 2);
+  for (data::TaskId t = 0; t < 2; ++t) {
+    m.Set(0, t, 0).AbortIfNotOk();
+    m.Set(1, t, 0).AbortIfNotOk();
+    m.Set(2, t, 1).AbortIfNotOk();  // Always disagrees.
+  }
+  SpammerFilterOptions options;
+  options.threshold = 0.4;
+  auto filtered = FilterSpammers(m, options);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->removed, (std::vector<data::WorkerId>{2}));
+}
+
+}  // namespace
+}  // namespace crowd::core

@@ -1,0 +1,241 @@
+// Tests for Algorithm A2's machinery: greedy/random triple selection,
+// Lemma 4 cross-triple covariances, Lemma 5 minimum-variance weights
+// and the m-worker orchestration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/m_worker.h"
+#include "core/three_worker.h"
+#include "core/triple_combiner.h"
+#include "core/triple_selection.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+data::ResponseMatrix UniformMatrix(size_t m, size_t n) {
+  data::ResponseMatrix matrix(m, n, 2);
+  for (data::WorkerId w = 0; w < m; ++w) {
+    for (data::TaskId t = 0; t < n; ++t) {
+      matrix.Set(w, t, 0).AbortIfNotOk();
+    }
+  }
+  return matrix;
+}
+
+TEST(TripleSelection, GreedyPairsAllPeersOnRegularData) {
+  auto matrix = UniformMatrix(7, 20);
+  data::OverlapIndex overlap(matrix);
+  auto pairs = GreedyPairs(overlap, 0);
+  ASSERT_EQ(pairs.size(), 3u);  // 6 peers -> 3 pairs.
+  std::set<data::WorkerId> used;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_TRUE(used.insert(a).second);
+    EXPECT_TRUE(used.insert(b).second);
+  }
+}
+
+TEST(TripleSelection, GreedyPrefersHighOverlapPeers) {
+  // Worker 0 overlaps a lot with 1 and 2, little with 3 and 4.
+  data::ResponseMatrix m(5, 100, 2);
+  for (data::TaskId t = 0; t < 100; ++t) m.Set(0, t, 0).AbortIfNotOk();
+  for (data::TaskId t = 0; t < 90; ++t) {
+    m.Set(1, t, 0).AbortIfNotOk();
+    m.Set(2, t, 0).AbortIfNotOk();
+  }
+  for (data::TaskId t = 0; t < 10; ++t) {
+    m.Set(3, t, 0).AbortIfNotOk();
+    m.Set(4, t, 0).AbortIfNotOk();
+  }
+  data::OverlapIndex overlap(m);
+  auto pairs = GreedyPairs(overlap, 0);
+  ASSERT_GE(pairs.size(), 1u);
+  // First pair is built from the highest-overlap peers.
+  EXPECT_TRUE(pairs[0].first == 1 || pairs[0].first == 2);
+  EXPECT_TRUE(pairs[0].second == 1 || pairs[0].second == 2);
+}
+
+TEST(TripleSelection, PeersWithoutOverlapAreDropped) {
+  data::ResponseMatrix m(4, 20, 2);
+  for (data::TaskId t = 0; t < 20; ++t) {
+    m.Set(0, t, 0).AbortIfNotOk();
+    m.Set(1, t, 0).AbortIfNotOk();
+    m.Set(2, t, 0).AbortIfNotOk();
+  }
+  // Worker 3 answered nothing.
+  data::OverlapIndex overlap(m);
+  auto pairs = GreedyPairs(overlap, 0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs[0] == WorkerPair(1, 2) ||
+              pairs[0] == WorkerPair(2, 1));
+}
+
+TEST(TripleSelection, RandomPairsAreValidAndSeedDependent) {
+  auto matrix = UniformMatrix(9, 20);
+  data::OverlapIndex overlap(matrix);
+  auto pairs1 = RandomPairs(overlap, 0, 1);
+  auto pairs2 = RandomPairs(overlap, 0, 2);
+  EXPECT_EQ(pairs1.size(), 4u);
+  EXPECT_EQ(pairs2.size(), 4u);
+  EXPECT_NE(pairs1, pairs2);  // Overwhelmingly likely.
+  std::set<data::WorkerId> used;
+  for (const auto& [a, b] : pairs1) {
+    EXPECT_TRUE(used.insert(a).second);
+    EXPECT_TRUE(used.insert(b).second);
+  }
+}
+
+TEST(Weights, LemmaFiveClosedFormDiagonal) {
+  // For a diagonal covariance the optimal weights are proportional to
+  // the inverse variances.
+  linalg::Matrix cov = linalg::Matrix::Diagonal({1.0, 4.0});
+  auto solution = MinimumVarianceWeights(cov, 0.0);
+  EXPECT_FALSE(solution.used_fallback);
+  EXPECT_NEAR(solution.weights[0], 0.8, 1e-10);
+  EXPECT_NEAR(solution.weights[1], 0.2, 1e-10);
+}
+
+TEST(Weights, SumToOneAndBeatUniform) {
+  Random rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t l = 2 + rng.UniformInt(5);
+    // Random PSD covariance: B B^T + diag.
+    linalg::Matrix b(l, l);
+    for (size_t i = 0; i < l; ++i) {
+      for (size_t j = 0; j < l; ++j) b(i, j) = rng.Uniform(-1, 1);
+    }
+    linalg::Matrix cov = b * b.Transposed();
+    for (size_t i = 0; i < l; ++i) cov(i, i) += 0.5;
+
+    auto solution = MinimumVarianceWeights(cov, 1e-12);
+    double sum = 0.0;
+    for (double w : solution.weights) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    auto variance = [&](const linalg::Vector& w) {
+      double v = 0.0;
+      for (size_t i = 0; i < l; ++i) {
+        for (size_t j = 0; j < l; ++j) v += w[i] * w[j] * cov(i, j);
+      }
+      return v;
+    };
+    linalg::Vector uniform(l, 1.0 / static_cast<double>(l));
+    EXPECT_LE(variance(solution.weights), variance(uniform) + 1e-9);
+  }
+}
+
+TEST(Weights, SingularCovarianceFallsBackToUniform) {
+  linalg::Matrix cov(2, 2, 0.0);  // All-zero: singular even with ridge 0.
+  auto solution = MinimumVarianceWeights(cov, 0.0);
+  EXPECT_TRUE(solution.used_fallback);
+  EXPECT_NEAR(solution.weights[0], 0.5, 1e-12);
+}
+
+TEST(Combiner, RejectsMixedWorkersAndEmpty) {
+  auto matrix = UniformMatrix(5, 30);
+  data::OverlapIndex overlap(matrix);
+  BinaryOptions options;
+  EXPECT_TRUE(CombineTriples({}, overlap, options)
+                  .status()
+                  .IsInsufficientData());
+}
+
+TEST(Combiner, SingleTripleMatchesThreeWorkerDeviation) {
+  Random rng(7);
+  sim::BinarySimConfig config;
+  config.num_workers = 3;
+  config.num_tasks = 500;
+  auto sim = sim::SimulateBinary(config, &rng);
+  data::OverlapIndex overlap(sim.dataset.responses());
+  BinaryOptions options;
+  auto triple = EvaluateTriple(overlap, 0, 1, 2, options);
+  ASSERT_TRUE(triple.ok());
+  auto combined = CombineTriples({*triple}, overlap, options);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->p, triple->p, 1e-12);
+  EXPECT_NEAR(combined->deviation, triple->deviation, 1e-12);
+}
+
+TEST(Combiner, OptimalWeightsNeverWorseThanUniform) {
+  Random rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::BinarySimConfig config;
+    config.num_workers = 9;
+    config.num_tasks = 120;
+    config.assignment = sim::AssignmentConfig::PaperHeterogeneous(9);
+    Random stream = rng.Fork();
+    auto sim = sim::SimulateBinary(config, &stream);
+    data::OverlapIndex overlap(sim.dataset.responses());
+
+    BinaryOptions optimal;
+    optimal.weights = WeightScheme::kOptimal;
+    BinaryOptions uniform;
+    uniform.weights = WeightScheme::kUniform;
+    auto a = EvaluateWorker(overlap, 0, optimal);
+    auto b = EvaluateWorker(overlap, 0, uniform);
+    if (!a.ok() || !b.ok()) continue;
+    EXPECT_LE(a->deviation, b->deviation + 1e-9);
+  }
+}
+
+TEST(MWorker, FailsBelowThreeWorkers) {
+  BinaryOptions options;
+  EXPECT_TRUE(MWorkerEvaluate(UniformMatrix(2, 10), options)
+                  .status()
+                  .IsInsufficientData());
+}
+
+TEST(MWorker, IsolatedWorkerReportedAsFailure) {
+  Random rng(11);
+  sim::BinarySimConfig config;
+  config.num_workers = 5;
+  config.num_tasks = 200;
+  auto sim = sim::SimulateBinary(config, &rng);
+  // Worker 4 loses all responses.
+  for (data::TaskId t = 0; t < 200; ++t) {
+    sim.dataset.mutable_responses()->Clear(4, t);
+  }
+  BinaryOptions options;
+  auto result = MWorkerEvaluate(sim.dataset.responses(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assessments.size(), 4u);
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_EQ(result->failures[0].first, 4u);
+  EXPECT_TRUE(result->failures[0].second.IsInsufficientData());
+}
+
+TEST(MWorker, MoreWorkersTightenIntervals) {
+  // With the same n, more peers -> more triples -> smaller deviation.
+  Random rng(13);
+  double dev_small_pool = 0.0, dev_large_pool = 0.0;
+  int counted = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    sim::BinarySimConfig config;
+    config.num_tasks = 200;
+    config.num_workers = 3;
+    Random s1 = rng.Fork();
+    auto small_sim = sim::SimulateBinary(config, &s1);
+    config.num_workers = 11;
+    Random s2 = rng.Fork();
+    auto large_sim = sim::SimulateBinary(config, &s2);
+    BinaryOptions options;
+    auto small = MWorkerEvaluate(small_sim.dataset.responses(), options);
+    auto large = MWorkerEvaluate(large_sim.dataset.responses(), options);
+    if (!small.ok() || !large.ok()) continue;
+    if (small->assessments.empty() || large->assessments.empty()) continue;
+    dev_small_pool += small->assessments[0].deviation;
+    dev_large_pool += large->assessments[0].deviation;
+    ++counted;
+  }
+  ASSERT_GT(counted, 10);
+  EXPECT_LT(dev_large_pool, dev_small_pool);
+}
+
+}  // namespace
+}  // namespace crowd::core

@@ -1,0 +1,243 @@
+// Tests for the data module: ResponseMatrix, Dataset (with proxies),
+// CSV round trips and the OverlapIndex counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "data/dataset_io.h"
+#include "data/overlap_index.h"
+#include "data/response_matrix.h"
+#include "rng/random.h"
+#include "util/csv.h"
+
+namespace crowd::data {
+namespace {
+
+TEST(ResponseMatrix, SetGetClear) {
+  ResponseMatrix m(2, 3, 4);
+  EXPECT_EQ(m.arity(), 4);
+  EXPECT_FALSE(m.Has(0, 0));
+  ASSERT_TRUE(m.Set(0, 0, 2).ok());
+  EXPECT_TRUE(m.Has(0, 0));
+  EXPECT_EQ(*m.Get(0, 0), 2);
+  EXPECT_EQ(m.TotalResponses(), 1u);
+  // Overwrite does not double count.
+  ASSERT_TRUE(m.Set(0, 0, 3).ok());
+  EXPECT_EQ(m.TotalResponses(), 1u);
+  EXPECT_EQ(*m.Get(0, 0), 3);
+  m.Clear(0, 0);
+  EXPECT_FALSE(m.Has(0, 0));
+  EXPECT_EQ(m.TotalResponses(), 0u);
+  m.Clear(0, 0);  // Idempotent.
+  EXPECT_EQ(m.TotalResponses(), 0u);
+}
+
+TEST(ResponseMatrix, Validation) {
+  ResponseMatrix m(2, 2, 2);
+  EXPECT_TRUE(m.Set(2, 0, 0).IsInvalid());
+  EXPECT_TRUE(m.Set(0, 2, 0).IsInvalid());
+  EXPECT_TRUE(m.Set(0, 0, 2).IsInvalid());
+  EXPECT_TRUE(m.Set(0, 0, -1).IsInvalid());
+}
+
+TEST(ResponseMatrix, CountsAndDensity) {
+  ResponseMatrix m(2, 4, 2);
+  m.Set(0, 0, 1).AbortIfNotOk();
+  m.Set(0, 1, 0).AbortIfNotOk();
+  m.Set(1, 1, 1).AbortIfNotOk();
+  EXPECT_EQ(m.WorkerResponseCount(0), 2u);
+  EXPECT_EQ(m.WorkerResponseCount(1), 1u);
+  EXPECT_EQ(m.TaskResponseCount(1), 2u);
+  EXPECT_EQ(m.TaskResponseCount(3), 0u);
+  EXPECT_DOUBLE_EQ(m.Density(), 3.0 / 8.0);
+  EXPECT_EQ(m.TasksOf(0), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(m.CommonTasks(0, 1), (std::vector<TaskId>{1}));
+}
+
+TEST(ResponseMatrix, SelectWorkersReindexes) {
+  ResponseMatrix m(3, 2, 2);
+  m.Set(2, 0, 1).AbortIfNotOk();
+  m.Set(0, 1, 0).AbortIfNotOk();
+  auto selected = m.SelectWorkers({2, 0});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->num_workers(), 2u);
+  EXPECT_EQ(*selected->Get(0, 0), 1);
+  EXPECT_EQ(*selected->Get(1, 1), 0);
+  EXPECT_TRUE(m.SelectWorkers({5}).status().IsInvalid());
+}
+
+TEST(ResponseMatrix, ThinnedRemovesRequestedFraction) {
+  Random rng(3);
+  ResponseMatrix m(10, 100, 2);
+  for (WorkerId w = 0; w < 10; ++w) {
+    for (TaskId t = 0; t < 100; ++t) m.Set(w, t, 0).AbortIfNotOk();
+  }
+  auto thinned = m.Thinned(0.2, [&]() { return rng.NextDouble(); });
+  EXPECT_NEAR(static_cast<double>(thinned.TotalResponses()), 800.0, 60.0);
+}
+
+TEST(Dataset, GoldAndProxy) {
+  ResponseMatrix m(2, 4, 2);
+  // Worker 0: right, right, wrong on gold tasks 0-2.
+  m.Set(0, 0, 1).AbortIfNotOk();
+  m.Set(0, 1, 0).AbortIfNotOk();
+  m.Set(0, 2, 0).AbortIfNotOk();
+  // Worker 1 only does non-gold task 3.
+  m.Set(1, 3, 1).AbortIfNotOk();
+  Dataset dataset("test", std::move(m));
+  dataset.SetGold(0, 1).AbortIfNotOk();
+  dataset.SetGold(1, 0).AbortIfNotOk();
+  dataset.SetGold(2, 1).AbortIfNotOk();
+  EXPECT_EQ(dataset.GoldCount(), 3u);
+  EXPECT_TRUE(dataset.HasGold(2));
+  EXPECT_FALSE(dataset.HasGold(3));
+  EXPECT_NEAR(*dataset.ProxyErrorRate(0), 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(dataset.ProxyErrorRate(1).status().IsInsufficientData());
+  EXPECT_TRUE(dataset.SetGold(9, 0).IsInvalid());
+  EXPECT_TRUE(dataset.SetGold(0, 5).IsInvalid());
+}
+
+TEST(Dataset, ProxyResponseMatrix) {
+  ResponseMatrix m(1, 6, 3);
+  // Truth 0 tasks: responses 0, 1. Truth 1 tasks: 1, 1. Truth 2: none.
+  m.Set(0, 0, 0).AbortIfNotOk();
+  m.Set(0, 1, 1).AbortIfNotOk();
+  m.Set(0, 2, 1).AbortIfNotOk();
+  m.Set(0, 3, 1).AbortIfNotOk();
+  Dataset dataset("test", std::move(m));
+  dataset.SetGold(0, 0).AbortIfNotOk();
+  dataset.SetGold(1, 0).AbortIfNotOk();
+  dataset.SetGold(2, 1).AbortIfNotOk();
+  dataset.SetGold(3, 1).AbortIfNotOk();
+  auto proxy = dataset.ProxyResponseMatrix(0);
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ(proxy->row_counts[0], 2);
+  EXPECT_EQ(proxy->row_counts[2], 0);
+  EXPECT_DOUBLE_EQ(proxy->probabilities[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(proxy->probabilities[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(proxy->probabilities[1][1], 1.0);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  ResponseMatrix m(3, 5, 3);
+  Random rng(9);
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (TaskId t = 0; t < 5; ++t) {
+      if (rng.Bernoulli(0.7)) {
+        m.Set(w, t, static_cast<int>(rng.UniformInt(3))).AbortIfNotOk();
+      }
+    }
+  }
+  m.Set(0, 0, 1).AbortIfNotOk();  // Ensure non-empty.
+  Dataset dataset("roundtrip", std::move(m));
+  dataset.SetGold(0, 2).AbortIfNotOk();
+  dataset.SetGold(4, 0).AbortIfNotOk();
+
+  std::string responses_path = testing::TempDir() + "/ds_resp.csv";
+  std::string gold_path = testing::TempDir() + "/ds_gold.csv";
+  ASSERT_TRUE(SaveDatasetCsv(dataset, responses_path, gold_path).ok());
+
+  LoadOptions options;
+  options.num_workers = 3;
+  options.num_tasks = 5;
+  options.arity = 3;
+  auto loaded =
+      LoadDatasetCsv("roundtrip", responses_path, gold_path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->responses().TotalResponses(),
+            dataset.responses().TotalResponses());
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (TaskId t = 0; t < 5; ++t) {
+      EXPECT_EQ(loaded->responses().Get(w, t),
+                dataset.responses().Get(w, t));
+    }
+  }
+  EXPECT_EQ(*loaded->Gold(0), 2);
+  EXPECT_EQ(*loaded->Gold(4), 0);
+  EXPECT_FALSE(loaded->HasGold(1));
+  std::remove(responses_path.c_str());
+  std::remove(gold_path.c_str());
+}
+
+TEST(DatasetIo, MalformedInputsRejected) {
+  std::string path = testing::TempDir() + "/bad.csv";
+  ASSERT_TRUE(
+      WriteStringToFile("worker,task,response\n0,0,1\n0,0,0\n", path)
+          .ok());
+  // Conflicting duplicate.
+  EXPECT_TRUE(LoadDatasetCsv("bad", path).status().IsIoError());
+  ASSERT_TRUE(
+      WriteStringToFile("worker,task,response\n-1,0,1\n", path).ok());
+  EXPECT_TRUE(LoadDatasetCsv("bad", path).status().IsIoError());
+  ASSERT_TRUE(WriteStringToFile("worker,task\n0,0\n", path).ok());
+  EXPECT_FALSE(LoadDatasetCsv("bad", path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(OverlapIndex, PairCounts) {
+  ResponseMatrix m(3, 4, 2);
+  // w0: tasks 0,1,2; w1: tasks 1,2,3; w2: task 2 only.
+  for (TaskId t : {0, 1, 2}) m.Set(0, t, 0).AbortIfNotOk();
+  for (TaskId t : {1, 2, 3}) m.Set(1, t, 0).AbortIfNotOk();
+  m.Set(2, 2, 1).AbortIfNotOk();
+  OverlapIndex overlap(m);
+  EXPECT_EQ(overlap.CommonCount(0, 1), 2u);
+  EXPECT_EQ(overlap.CommonCount(0, 2), 1u);
+  EXPECT_EQ(overlap.AgreementCount(0, 1), 2u);
+  EXPECT_EQ(overlap.AgreementCount(0, 2), 0u);
+  EXPECT_DOUBLE_EQ(*overlap.AgreementRate(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(*overlap.AgreementRate(0, 2), 0.0);
+  EXPECT_EQ(overlap.TripleCommonCount(0, 1, 2), 1u);
+}
+
+TEST(OverlapIndex, EmptyOverlapIsError) {
+  ResponseMatrix m(2, 2, 2);
+  m.Set(0, 0, 0).AbortIfNotOk();
+  m.Set(1, 1, 0).AbortIfNotOk();
+  OverlapIndex overlap(m);
+  EXPECT_EQ(overlap.CommonCount(0, 1), 0u);
+  EXPECT_TRUE(overlap.AgreementRate(0, 1).status().IsInsufficientData());
+}
+
+// The paper's worked example from Section III-B: 100 tasks, w1 does
+// the first 80, w2 the last 80, w3 the middle 80; then c12 = 60,
+// c13 = c23 = 70, c123 = 60.
+TEST(OverlapIndex, PaperWorkedExample) {
+  ResponseMatrix m(3, 100, 2);
+  for (TaskId t = 0; t < 80; ++t) m.Set(0, t, 0).AbortIfNotOk();
+  for (TaskId t = 20; t < 100; ++t) m.Set(1, t, 0).AbortIfNotOk();
+  for (TaskId t = 10; t < 90; ++t) m.Set(2, t, 0).AbortIfNotOk();
+  OverlapIndex overlap(m);
+  EXPECT_EQ(overlap.CommonCount(0, 1), 60u);
+  EXPECT_EQ(overlap.CommonCount(0, 2), 70u);
+  EXPECT_EQ(overlap.CommonCount(1, 2), 70u);
+  EXPECT_EQ(overlap.TripleCommonCount(0, 1, 2), 60u);
+}
+
+// Bitset triple counting agrees with brute force on random data.
+TEST(OverlapIndexProperty, TripleCountMatchesBruteForce) {
+  Random rng(17);
+  ResponseMatrix m(6, 130, 2);
+  for (WorkerId w = 0; w < 6; ++w) {
+    for (TaskId t = 0; t < 130; ++t) {
+      if (rng.Bernoulli(0.6)) m.Set(w, t, 0).AbortIfNotOk();
+    }
+  }
+  OverlapIndex overlap(m);
+  for (WorkerId i = 0; i < 6; ++i) {
+    for (WorkerId j = 0; j < 6; ++j) {
+      for (WorkerId k = 0; k < 6; ++k) {
+        size_t brute = 0;
+        for (TaskId t = 0; t < 130; ++t) {
+          if (m.Has(i, t) && m.Has(j, t) && m.Has(k, t)) ++brute;
+        }
+        ASSERT_EQ(overlap.TripleCommonCount(i, j, k), brute);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowd::data

@@ -1,0 +1,101 @@
+// Tests for the Theorem-1 delta-method engine, including a
+// Monte-Carlo validation: the delta-method deviation of a nonlinear
+// function of correlated normals must match the simulated deviation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+#include "stats/delta_method.h"
+#include "stats/descriptive.h"
+
+namespace crowd::stats {
+namespace {
+
+TEST(DeltaMethod, DeviationOfIndependentSum) {
+  // Y = X1 + X2 with unit variances: Dev = sqrt(2).
+  linalg::Matrix cov = linalg::Matrix::Identity(2);
+  auto dev = DeltaDeviation({1.0, 1.0}, cov);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_NEAR(*dev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(DeltaMethod, CorrelationChangesDeviation) {
+  // Perfectly correlated: Y = X1 - X2 has zero variance.
+  linalg::Matrix cov{{1.0, 1.0}, {1.0, 1.0}};
+  auto dev = DeltaDeviation({1.0, -1.0}, cov);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_NEAR(*dev, 0.0, 1e-12);
+  // And Y = X1 + X2 doubles it.
+  auto dev2 = DeltaDeviation({1.0, 1.0}, cov);
+  EXPECT_NEAR(*dev2, 2.0, 1e-12);
+}
+
+TEST(DeltaMethod, ShapeMismatchRejected) {
+  EXPECT_TRUE(DeltaDeviation({1.0, 1.0}, linalg::Matrix::Identity(3))
+                  .status()
+                  .IsInvalid());
+}
+
+TEST(DeltaMethod, SlightlyNegativeVarianceClamped) {
+  // An estimated covariance that is not quite PSD.
+  linalg::Matrix cov{{1.0, -1.0 - 1e-12}, {-1.0 - 1e-12, 1.0}};
+  auto dev = DeltaDeviation({1.0, 1.0}, cov);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_DOUBLE_EQ(*dev, 0.0);
+}
+
+TEST(DeltaMethod, StronglyNegativeVarianceRejected) {
+  linalg::Matrix cov{{1.0, -2.0}, {-2.0, 1.0}};
+  EXPECT_TRUE(
+      DeltaDeviation({1.0, 1.0}, cov).status().IsNumericalError());
+}
+
+TEST(DeltaMethod, IntervalMatchesNormalForm) {
+  LinearizedEstimate est;
+  est.value = 0.25;
+  est.gradient = {2.0};
+  linalg::Matrix cov{{0.01}};  // Var(X) = 0.01 -> Dev(Y) = 0.2.
+  auto ci = DeltaInterval(est, cov, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->center(), 0.25, 1e-12);
+  EXPECT_NEAR(ci->size(), 2 * 1.959963984540054 * 0.2, 1e-9);
+}
+
+TEST(DeltaMethod, WeightedSumVariance) {
+  linalg::Matrix cov{{4.0, 1.0}, {1.0, 9.0}};
+  auto var = WeightedSumVariance({0.5, 0.5}, cov);
+  ASSERT_TRUE(var.ok());
+  EXPECT_NEAR(*var, 0.25 * 4 + 0.25 * 9 + 2 * 0.25 * 1, 1e-12);
+}
+
+// Monte-Carlo validation of Theorem 1 on a nonlinear function of
+// correlated inputs: f(x, y) = sqrt(x * y). The delta deviation must
+// match the empirical deviation of f over draws of (X, Y).
+TEST(DeltaMethodProperty, MonteCarloAgreement) {
+  const double ex = 2.0, ey = 3.0;
+  const double sx = 0.03, sy = 0.05, rho = 0.6;
+
+  // Gradient of sqrt(x y): (y, x) / (2 sqrt(x y)).
+  double f0 = std::sqrt(ex * ey);
+  linalg::Vector gradient = {ey / (2 * f0), ex / (2 * f0)};
+  linalg::Matrix cov{{sx * sx, rho * sx * sy}, {rho * sx * sy, sy * sy}};
+  auto predicted = DeltaDeviation(gradient, cov);
+  ASSERT_TRUE(predicted.ok());
+
+  Random rng(31);
+  RunningStat observed;
+  for (int i = 0; i < 200000; ++i) {
+    double z1 = rng.NextGaussian();
+    double z2 = rng.NextGaussian();
+    double x = ex + sx * z1;
+    double y = ey + sy * (rho * z1 + std::sqrt(1 - rho * rho) * z2);
+    observed.Add(std::sqrt(x * y));
+  }
+  EXPECT_NEAR(observed.mean(), f0, 1e-3);
+  EXPECT_NEAR(observed.stddev(), *predicted, 0.02 * *predicted);
+}
+
+}  // namespace
+}  // namespace crowd::stats

@@ -1,0 +1,140 @@
+// Tests for the spectral + EM refinement extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/em_refine.h"
+#include "experiments/runner.h"
+#include "linalg/matrix_functions.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+Result<CountsTensor> SimulatedCounts(int arity, size_t n, Random* rng,
+                                     std::vector<linalg::Matrix>* truth) {
+  sim::KarySimConfig config;
+  config.arity = arity;
+  config.num_tasks = n;
+  CROWD_ASSIGN_OR_RETURN(auto sim, sim::SimulateKary(config, rng));
+  *truth = sim.true_matrices;
+  return CountsTensor::FromResponses(sim.dataset.responses(), 0, 1, 2);
+}
+
+TEST(EmRefine, ImprovesOrMatchesSpectralEstimate) {
+  Random rng(3);
+  for (int arity : {2, 3, 4}) {
+    double spectral_total = 0.0;
+    double refined_total = 0.0;
+    int trials_used = 0;
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<linalg::Matrix> truth;
+      Random stream = rng.Fork();
+      auto counts = SimulatedCounts(arity, 1200, &stream, &truth);
+      ASSERT_TRUE(counts.ok());
+      auto spectral = ProbEstimate(*counts);
+      auto refined = SpectralThenEm(*counts);
+      if (!spectral.ok() || !refined.ok()) continue;
+      ++trials_used;
+      for (int w = 0; w < 3; ++w) {
+        linalg::Matrix p = spectral->v(w);
+        ASSERT_TRUE(linalg::NormalizeRowsToSumOne(&p).ok());
+        spectral_total += p.MaxAbsDiff(truth[w]);
+        refined_total += refined->p[w].MaxAbsDiff(truth[w]);
+      }
+    }
+    ASSERT_GE(trials_used, 4) << "arity " << arity;
+    EXPECT_LE(refined_total, spectral_total * 1.05) << "arity " << arity;
+  }
+}
+
+TEST(EmRefine, RefinedMatricesAreRowStochastic) {
+  Random rng(5);
+  std::vector<linalg::Matrix> truth;
+  auto counts = SimulatedCounts(3, 800, &rng, &truth);
+  ASSERT_TRUE(counts.ok());
+  auto refined = SpectralThenEm(*counts);
+  ASSERT_TRUE(refined.ok()) << refined.status();
+  for (const auto& p : refined->p) {
+    for (size_t r = 0; r < p.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < p.cols(); ++c) {
+        EXPECT_GE(p(r, c), 0.0);
+        EXPECT_LE(p(r, c), 1.0);
+        sum += p(r, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+  double selectivity_sum = 0.0;
+  for (double s : refined->selectivity) selectivity_sum += s;
+  EXPECT_NEAR(selectivity_sum, 1.0, 1e-9);
+}
+
+TEST(EmRefine, LikelihoodNonDecreasingWithIterations) {
+  Random rng(7);
+  std::vector<linalg::Matrix> truth;
+  auto counts = SimulatedCounts(3, 600, &rng, &truth);
+  ASSERT_TRUE(counts.ok());
+  EmRefineOptions two;
+  two.max_iterations = 2;
+  EmRefineOptions many;
+  many.max_iterations = 300;
+  many.tolerance = 1e-6;
+  auto short_run = SpectralThenEm(*counts, {}, two);
+  auto long_run = SpectralThenEm(*counts, {}, many);
+  ASSERT_TRUE(short_run.ok());
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_GE(long_run->log_likelihood,
+            short_run->log_likelihood - 1e-9);
+  // Note: `converged` is intentionally not asserted — EM can crawl
+  // along likelihood ridges for hundreds of iterations (observed on
+  // this very configuration) and stopping at max_iterations with a
+  // monotonically improved likelihood is correct behavior.
+}
+
+TEST(EmRefine, NonRegularDataHandled) {
+  Random rng(9);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_tasks = 1500;
+  config.assignment = sim::AssignmentConfig::Iid(0.6);
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  auto counts =
+      CountsTensor::FromResponses(sim->dataset.responses(), 0, 1, 2);
+  ASSERT_TRUE(counts.ok());
+  auto refined = SpectralThenEm(*counts);
+  ASSERT_TRUE(refined.ok()) << refined.status();
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_LT(refined->p[w].MaxAbsDiff(sim->true_matrices[w]), 0.12)
+        << "worker " << w;
+  }
+}
+
+TEST(EmRefine, ValidationErrors) {
+  CountsTensor counts(3);
+  std::array<linalg::Matrix, 3> wrong_shape = {
+      linalg::Matrix(2, 2), linalg::Matrix(3, 3), linalg::Matrix(3, 3)};
+  EXPECT_TRUE(EmRefineFromCounts(counts, wrong_shape,
+                                 linalg::Vector(3, 1.0 / 3))
+                  .status()
+                  .IsInvalid());
+  std::array<linalg::Matrix, 3> ok_shape = {
+      linalg::Matrix(3, 3, 1.0 / 3), linalg::Matrix(3, 3, 1.0 / 3),
+      linalg::Matrix(3, 3, 1.0 / 3)};
+  EXPECT_TRUE(EmRefineFromCounts(counts, ok_shape,
+                                 linalg::Vector(2, 0.5))
+                  .status()
+                  .IsInvalid());
+  // Empty tensor: no responses at all.
+  EXPECT_TRUE(EmRefineFromCounts(counts, ok_shape,
+                                 linalg::Vector(3, 1.0 / 3))
+                  .status()
+                  .IsInsufficientData());
+}
+
+}  // namespace
+}  // namespace crowd::core

@@ -1,0 +1,107 @@
+// Tests for the CrowdEvaluator façade: id remapping through the
+// spammer filter, decision helpers, and the k-ary entry point.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/evaluator.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+TEST(Evaluator, DecisionHelpers) {
+  std::vector<WorkerAssessment> assessments(3);
+  assessments[0].worker = 10;
+  assessments[0].interval = {0.01, 0.09, 0.9};  // Confidently good.
+  assessments[1].worker = 11;
+  assessments[1].interval = {0.31, 0.44, 0.9};  // Confidently bad.
+  assessments[2].worker = 12;
+  assessments[2].interval = {0.05, 0.35, 0.9};  // Undecided.
+
+  auto good = CrowdEvaluator::WorkersConfidentlyBelow(assessments, 0.25);
+  auto bad = CrowdEvaluator::WorkersConfidentlyAbove(assessments, 0.25);
+  EXPECT_EQ(good, (std::vector<data::WorkerId>{10}));
+  EXPECT_EQ(bad, (std::vector<data::WorkerId>{11}));
+}
+
+TEST(Evaluator, SpammerFilterRemapsToOriginalIds) {
+  Random rng(3);
+  sim::BinarySimConfig config;
+  config.num_workers = 10;
+  config.num_tasks = 400;
+  config.pool.error_rates = {0.1};
+  auto sim = sim::SimulateBinary(config, &rng);
+  // Make workers 2 and 6 coin-flip spammers.
+  for (data::WorkerId w : {data::WorkerId{2}, data::WorkerId{6}}) {
+    for (data::TaskId t = 0; t < 400; ++t) {
+      sim.dataset.mutable_responses()
+          ->Set(w, t, rng.Bernoulli(0.5) ? 1 : 0)
+          .AbortIfNotOk();
+    }
+  }
+
+  CrowdEvaluator::Config config_with_filter;
+  config_with_filter.prefilter_spammers = true;
+  CrowdEvaluator evaluator(config_with_filter);
+  auto report = evaluator.EvaluateBinary(sim.dataset.responses());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Spammers are reported under their original ids and are absent
+  // from the assessments.
+  EXPECT_EQ(report->removed_spammers,
+            (std::vector<data::WorkerId>{2, 6}));
+  for (const auto& a : report->assessments) {
+    EXPECT_NE(a.worker, 2u);
+    EXPECT_NE(a.worker, 6u);
+    // Remapped ids point to the real good workers.
+    EXPECT_NEAR(a.error_rate, 0.1, 0.08) << "worker " << a.worker;
+  }
+  EXPECT_EQ(report->assessments.size(), 8u);
+}
+
+TEST(Evaluator, WithoutFilterMatchesMWorkerEvaluate) {
+  Random rng(5);
+  sim::BinarySimConfig config;
+  config.num_workers = 5;
+  config.num_tasks = 200;
+  auto sim = sim::SimulateBinary(config, &rng);
+  CrowdEvaluator evaluator;
+  auto report = evaluator.EvaluateBinary(sim.dataset.responses());
+  ASSERT_TRUE(report.ok());
+  auto direct =
+      MWorkerEvaluate(sim.dataset.responses(), evaluator.config().binary);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(report->assessments.size(), direct->assessments.size());
+  for (size_t i = 0; i < report->assessments.size(); ++i) {
+    EXPECT_EQ(report->assessments[i].worker,
+              direct->assessments[i].worker);
+    EXPECT_DOUBLE_EQ(report->assessments[i].error_rate,
+                     direct->assessments[i].error_rate);
+  }
+  EXPECT_TRUE(report->removed_spammers.empty());
+}
+
+TEST(Evaluator, KaryTripleEntryPoint) {
+  Random rng(7);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_tasks = 1000;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  CrowdEvaluator::Config evaluator_config;
+  evaluator_config.kary.confidence = 0.9;
+  CrowdEvaluator evaluator(evaluator_config);
+  auto result =
+      evaluator.EvaluateKaryTriple(sim->dataset.responses(), 0, 1, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_EQ(result->workers[w].intervals.size(), 3u);
+    EXPECT_DOUBLE_EQ(result->workers[w].intervals[0][0].confidence, 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace crowd::core

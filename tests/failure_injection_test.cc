@@ -1,0 +1,197 @@
+// Failure-injection tests: every documented degenerate input must
+// produce a clean Status (never a crash, never a silent garbage
+// estimate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "core/kary_estimator.h"
+#include "core/m_worker.h"
+#include "core/prob_estimate.h"
+#include "core/three_worker.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd {
+namespace {
+
+// Workers who always answer the same label: agreement rates are all 1,
+// estimates must come out near zero error without numerical issues.
+TEST(FailureInjection, UnanimousWorkers) {
+  data::ResponseMatrix m(3, 50, 2);
+  for (data::WorkerId w = 0; w < 3; ++w) {
+    for (data::TaskId t = 0; t < 50; ++t) {
+      m.Set(w, t, 1).AbortIfNotOk();
+    }
+  }
+  core::BinaryOptions options;
+  auto result = core::ThreeWorkerEvaluate(m, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const auto& a : *result) {
+    EXPECT_NEAR(a.error_rate, 0.0, 1e-9);
+    // 50/50 agreements do not prove a zero error rate: the Agresti-
+    // corrected variance keeps the deviation small but positive.
+    EXPECT_GT(a.deviation, 0.0);
+    EXPECT_LT(a.deviation, 0.05);
+  }
+}
+
+// A pure antagonist (always disagrees): agreement rates at 0 hit the
+// singularity. Under the default (paper) policy the evaluation fails
+// cleanly; under the clamping policy it survives with the clamping
+// flagged.
+TEST(FailureInjection, PureAntagonist) {
+  Random rng(3);
+  data::ResponseMatrix m(3, 100, 2);
+  for (data::TaskId t = 0; t < 100; ++t) {
+    int v = rng.Bernoulli(0.5) ? 1 : 0;
+    m.Set(0, t, v).AbortIfNotOk();
+    m.Set(1, t, v).AbortIfNotOk();
+    m.Set(2, t, 1 - v).AbortIfNotOk();
+  }
+  core::BinaryOptions drop;  // Default: kDropTriple.
+  auto failed = core::ThreeWorkerEvaluate(m, drop);
+  EXPECT_TRUE(failed.status().IsNumericalError()) << failed.status();
+
+  core::BinaryOptions clamp;
+  clamp.singularity = core::SingularityPolicy::kClampInflate;
+  auto result = core::ThreeWorkerEvaluate(m, clamp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE((*result)[2].any_clamped);
+}
+
+// A coin-flip spammer among honest workers: results may be noisy but
+// must not crash, and the spammer filter must remove the spammer.
+TEST(FailureInjection, CoinFlipSpammer) {
+  Random rng(5);
+  sim::BinarySimConfig config;
+  config.num_workers = 6;
+  config.num_tasks = 300;
+  config.pool.error_rates = {0.1};
+  auto sim = sim::SimulateBinary(config, &rng);
+  for (data::TaskId t = 0; t < 300; ++t) {
+    sim.dataset.mutable_responses()
+        ->Set(5, t, rng.Bernoulli(0.5) ? 1 : 0)
+        .AbortIfNotOk();
+  }
+  core::BinaryOptions options;
+  auto result = core::MWorkerEvaluate(sim.dataset.responses(), options);
+  ASSERT_TRUE(result.ok());
+
+  auto filtered = core::FilterSpammers(sim.dataset.responses());
+  ASSERT_TRUE(filtered.ok());
+  bool spammer_removed = false;
+  for (auto w : filtered->removed) spammer_removed |= (w == 5);
+  EXPECT_TRUE(spammer_removed);
+}
+
+// Tiny datasets: 1 task, or a single common task per pair.
+TEST(FailureInjection, MinimalOverlap) {
+  data::ResponseMatrix m(3, 1, 2);
+  for (data::WorkerId w = 0; w < 3; ++w) {
+    m.Set(w, 0, 0).AbortIfNotOk();
+  }
+  core::BinaryOptions options;
+  auto result = core::ThreeWorkerEvaluate(m, options);
+  // One task: estimable in principle (all agree), must not crash.
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+TEST(FailureInjection, EmptyMatrix) {
+  data::ResponseMatrix m(3, 10, 2);
+  core::BinaryOptions options;
+  EXPECT_FALSE(core::ThreeWorkerEvaluate(m, options).ok());
+  EXPECT_TRUE(core::MWorkerEvaluate(m, options).ok());  // Per-worker
+  // failures are collected, not fatal:
+  auto result = core::MWorkerEvaluate(m, options);
+  EXPECT_EQ(result->assessments.size(), 0u);
+  EXPECT_EQ(result->failures.size(), 3u);
+}
+
+// k-ary: a response class that never occurs makes R_{3,2} singular —
+// the exact WSD pathology the paper describes. Must be a clean error.
+TEST(FailureInjection, KaryEmptyResponseClass) {
+  Random rng(7);
+  data::ResponseMatrix m(3, 300, 3);
+  for (data::TaskId t = 0; t < 300; ++t) {
+    for (data::WorkerId w = 0; w < 3; ++w) {
+      // Only responses 0 and 1 ever used.
+      m.Set(w, t, rng.Bernoulli(0.5) ? 1 : 0).AbortIfNotOk();
+    }
+  }
+  core::KaryOptions options;
+  auto result = core::KaryEvaluate(m, 0, 1, 2, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNumericalError() ||
+              result.status().IsInsufficientData())
+      << result.status();
+}
+
+// k-ary with pairs that never co-attempt.
+TEST(FailureInjection, KaryDisjointWorkers) {
+  data::ResponseMatrix m(3, 30, 2);
+  for (data::TaskId t = 0; t < 10; ++t) m.Set(0, t, 0).AbortIfNotOk();
+  for (data::TaskId t = 10; t < 20; ++t) m.Set(1, t, 0).AbortIfNotOk();
+  for (data::TaskId t = 20; t < 30; ++t) m.Set(2, t, 0).AbortIfNotOk();
+  core::KaryOptions options;
+  auto result = core::KaryEvaluate(m, 0, 1, 2, options);
+  EXPECT_TRUE(result.status().IsInsufficientData()) << result.status();
+}
+
+// The evaluator façade propagates spammer-filter edge cases: when the
+// filter removes everyone, evaluation fails cleanly.
+TEST(FailureInjection, AllWorkersFiltered) {
+  Random rng(9);
+  data::ResponseMatrix m(4, 100, 2);
+  for (data::TaskId t = 0; t < 100; ++t) {
+    for (data::WorkerId w = 0; w < 4; ++w) {
+      m.Set(w, t, rng.Bernoulli(0.5) ? 1 : 0).AbortIfNotOk();
+    }
+  }
+  core::CrowdEvaluator::Config config;
+  config.prefilter_spammers = true;
+  config.spammer.threshold = 0.05;  // Absurdly strict.
+  core::CrowdEvaluator evaluator(config);
+  auto report = evaluator.EvaluateBinary(m);
+  EXPECT_FALSE(report.ok());
+}
+
+// Confidence level must be validated everywhere.
+TEST(FailureInjection, BadConfidenceRejected) {
+  Random rng(11);
+  sim::BinarySimConfig config;
+  config.num_workers = 3;
+  config.num_tasks = 100;
+  auto sim = sim::SimulateBinary(config, &rng);
+  core::BinaryOptions options;
+  options.confidence = 1.5;
+  EXPECT_FALSE(
+      core::ThreeWorkerEvaluate(sim.dataset.responses(), options).ok());
+}
+
+// Extreme sparsity: every worker answers very few tasks. Evaluations
+// either succeed or fail with InsufficientData; never crash.
+TEST(FailureInjection, ExtremeSparsity) {
+  Random rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::BinarySimConfig config;
+    config.num_workers = 8;
+    config.num_tasks = 40;
+    config.assignment = sim::AssignmentConfig::Iid(0.12);
+    Random stream = rng.Fork();
+    auto sim = sim::SimulateBinary(config, &stream);
+    core::BinaryOptions options;
+    auto result = core::MWorkerEvaluate(sim.dataset.responses(), options);
+    ASSERT_TRUE(result.ok());
+    for (const auto& [worker, status] : result->failures) {
+      EXPECT_TRUE(status.IsInsufficientData() ||
+                  status.IsNumericalError())
+          << status;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowd

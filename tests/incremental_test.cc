@@ -1,0 +1,146 @@
+// Tests for the incremental evaluator: its statistics and assessments
+// must match the batch pipeline exactly at every prefix of the stream,
+// with memoization that only skips genuinely clean workers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/incremental.h"
+#include "core/m_worker.h"
+#include "data/overlap_index.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+TEST(Incremental, OverlapStatsMatchRebuildUnderStreaming) {
+  Random rng(3);
+  const size_t m = 6, n = 80;
+  data::ResponseMatrix reference(m, n, 2);
+  IncrementalEvaluator incremental(m, n);
+
+  for (int step = 0; step < 400; ++step) {
+    data::WorkerId w = rng.UniformInt(m);
+    data::TaskId t = rng.UniformInt(n);
+    data::Response r = rng.Bernoulli(0.5) ? 1 : 0;
+    ASSERT_TRUE(reference.Set(w, t, r).ok());
+    ASSERT_TRUE(incremental.AddResponse(w, t, r).ok());
+
+    if (step % 57 != 0) continue;  // Compare a sample of prefixes.
+    data::OverlapIndex rebuilt(reference);
+    for (data::WorkerId a = 0; a < m; ++a) {
+      for (data::WorkerId b = 0; b < m; ++b) {
+        ASSERT_EQ(incremental.overlap().CommonCount(a, b),
+                  rebuilt.CommonCount(a, b))
+            << "step " << step;
+        ASSERT_EQ(incremental.overlap().AgreementCount(a, b),
+                  rebuilt.AgreementCount(a, b))
+            << "step " << step;
+        for (data::WorkerId c = 0; c < m; ++c) {
+          ASSERT_EQ(incremental.overlap().TripleCommonCount(a, b, c),
+                    rebuilt.TripleCommonCount(a, b, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Incremental, AssessmentsMatchBatchAtEveryCheckpoint) {
+  Random rng(5);
+  sim::BinarySimConfig config;
+  config.num_workers = 7;
+  config.num_tasks = 150;
+  config.assignment = sim::AssignmentConfig::Iid(0.8);
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  BinaryOptions options;
+  IncrementalEvaluator incremental(7, 150, options);
+  data::ResponseMatrix replay(7, 150, 2);
+
+  int checked = 0;
+  for (data::TaskId t = 0; t < 150; ++t) {
+    for (data::WorkerId w = 0; w < 7; ++w) {
+      auto r = sim.dataset.responses().Get(w, t);
+      if (!r.has_value()) continue;
+      ASSERT_TRUE(incremental.AddResponse(w, t, *r).ok());
+      ASSERT_TRUE(replay.Set(w, t, *r).ok());
+    }
+    if (t % 37 != 36) continue;
+    auto batch = MWorkerEvaluate(replay, options);
+    ASSERT_TRUE(batch.ok());
+    auto streaming = incremental.EvaluateAll();
+    ASSERT_EQ(streaming.assessments.size(), batch->assessments.size());
+    ASSERT_EQ(streaming.failures.size(), batch->failures.size());
+    for (size_t i = 0; i < streaming.assessments.size(); ++i) {
+      const auto& a = streaming.assessments[i];
+      const auto& b = batch->assessments[i];
+      EXPECT_EQ(a.worker, b.worker);
+      EXPECT_NEAR(a.error_rate, b.error_rate, 1e-12);
+      EXPECT_NEAR(a.deviation, b.deviation, 1e-12);
+      EXPECT_EQ(a.num_triples, b.num_triples);
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(Incremental, OverwritingAResponseUpdatesAgreement) {
+  IncrementalEvaluator incremental(3, 4);
+  ASSERT_TRUE(incremental.AddResponse(0, 0, 1).ok());
+  ASSERT_TRUE(incremental.AddResponse(1, 0, 1).ok());
+  EXPECT_EQ(incremental.overlap().AgreementCount(0, 1), 1u);
+  // Flip worker 1's response: agreement disappears, common stays.
+  ASSERT_TRUE(incremental.AddResponse(1, 0, 0).ok());
+  EXPECT_EQ(incremental.overlap().AgreementCount(0, 1), 0u);
+  EXPECT_EQ(incremental.overlap().CommonCount(0, 1), 1u);
+  // Flip back.
+  ASSERT_TRUE(incremental.AddResponse(1, 0, 1).ok());
+  EXPECT_EQ(incremental.overlap().AgreementCount(0, 1), 1u);
+  // Re-submitting the same response is a no-op.
+  ASSERT_TRUE(incremental.AddResponse(1, 0, 1).ok());
+  EXPECT_EQ(incremental.overlap().CommonCount(0, 1), 1u);
+  EXPECT_EQ(incremental.responses().TotalResponses(), 2u);
+}
+
+TEST(Incremental, MemoizationSkipsUntouchedWorkers) {
+  Random rng(7);
+  sim::BinarySimConfig config;
+  config.num_workers = 6;
+  config.num_tasks = 120;
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  IncrementalEvaluator incremental(6, 120);
+  for (data::TaskId t = 0; t < 120; ++t) {
+    for (data::WorkerId w = 0; w < 6; ++w) {
+      auto r = sim.dataset.responses().Get(w, t);
+      if (r.has_value()) {
+        ASSERT_TRUE(incremental.AddResponse(w, t, *r).ok());
+      }
+    }
+  }
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 6u);
+  incremental.EvaluateAll();
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 0u);
+  // A repeated identical response leaves caches warm.
+  auto existing = incremental.responses().Get(0, 0);
+  ASSERT_TRUE(existing.has_value());
+  ASSERT_TRUE(incremental.AddResponse(0, 0, *existing).ok());
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 0u);
+  // A fresh response dirties the responder and overlapping workers —
+  // on this dense data, everyone.
+  ASSERT_TRUE(incremental.AddResponse(
+                  0, 0, 1 - *existing).ok());
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 6u);
+}
+
+TEST(Incremental, RangeValidation) {
+  IncrementalEvaluator incremental(2, 3);
+  EXPECT_TRUE(incremental.AddResponse(2, 0, 0).IsInvalid());
+  EXPECT_TRUE(incremental.AddResponse(0, 3, 0).IsInvalid());
+  EXPECT_TRUE(incremental.Evaluate(5).status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace crowd::core

@@ -1,0 +1,211 @@
+// End-to-end integration tests: full pipelines on simulated data and
+// on the synthetic paper-dataset analogues. These are the tests that
+// catch cross-module regressions — estimator consistency, interval
+// coverage in the large, spammer filtering, and the k-ary spectral
+// recovery of planted parameters.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dawid_skene.h"
+#include "core/evaluator.h"
+#include "core/kary_estimator.h"
+#include "core/m_worker.h"
+#include "core/three_worker.h"
+#include "experiments/metrics.h"
+#include "experiments/runner.h"
+#include "rng/random.h"
+#include "sim/paper_datasets.h"
+#include "sim/simulator.h"
+
+namespace crowd {
+namespace {
+
+// With many regular tasks, the 3-worker estimator must recover the
+// planted error rates closely.
+TEST(IntegrationBinary, ThreeWorkerConsistency) {
+  Random rng(7);
+  sim::BinarySimConfig config;
+  config.num_workers = 3;
+  config.num_tasks = 20000;
+  config.pool.error_rates = {0.1, 0.2, 0.3};
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  core::BinaryOptions options;
+  options.confidence = 0.95;
+  auto result = core::ThreeWorkerEvaluate(sim.dataset.responses(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_NEAR((*result)[w].error_rate, sim.true_error_rates[w], 0.02)
+        << "worker " << w;
+    EXPECT_LT((*result)[w].interval.size(), 0.05);
+  }
+}
+
+// The m-worker estimator on non-regular data: estimates close to the
+// planted rates and intervals that usually contain them.
+TEST(IntegrationBinary, MWorkerNonRegularConsistency) {
+  Random rng(11);
+  sim::BinarySimConfig config;
+  config.num_workers = 7;
+  config.num_tasks = 4000;
+  config.assignment = sim::AssignmentConfig::Iid(0.8);
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  core::BinaryOptions options;
+  options.confidence = 0.95;
+  auto result = core::MWorkerEvaluate(sim.dataset.responses(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->assessments.size(), 7u);
+  EXPECT_TRUE(result->failures.empty());
+  for (const auto& a : result->assessments) {
+    EXPECT_NEAR(a.error_rate, sim.true_error_rates[a.worker], 0.04);
+    EXPECT_GE(a.num_triples, 3u);
+  }
+}
+
+// Coverage: over repeated small experiments, ~c of the intervals must
+// contain the true rate. This is the paper's Figure 2(a) in miniature.
+TEST(IntegrationBinary, MWorkerCoverageNearNominal) {
+  const double confidence = 0.8;
+  experiments::IntervalScore score;
+  experiments::RepeatTrials(120, 20150412, [&](int, Random* rng) {
+    sim::BinarySimConfig config;
+    config.num_workers = 7;
+    config.num_tasks = 300;
+    config.assignment = sim::AssignmentConfig::Iid(0.8);
+    auto sim = sim::SimulateBinary(config, rng);
+    core::BinaryOptions options;
+    options.confidence = confidence;
+    auto result = core::MWorkerEvaluate(sim.dataset.responses(), options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    for (const auto& a : result->assessments) {
+      score.Add(a.interval, sim.true_error_rates[a.worker]);
+    }
+  });
+  EXPECT_GT(score.total(), 500u);
+  EXPECT_NEAR(score.Accuracy(), confidence, 0.07);
+}
+
+// k-ary: on a large regular dataset the spectral estimator recovers
+// the planted response matrices.
+TEST(IntegrationKary, SpectralRecoveryOfPlantedMatrices) {
+  Random rng(23);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_tasks = 20000;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+
+  core::KaryOptions options;
+  auto result = core::KaryEvaluate(sim->dataset.responses(), 0, 1, 2,
+                                   options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int w = 0; w < 3; ++w) {
+    const auto& estimated = result->workers[w].p;
+    const auto& truth = sim->true_matrices[w];
+    EXPECT_LT(estimated.MaxAbsDiff(truth), 0.05) << "worker " << w;
+  }
+  // Uniform selectivity was planted.
+  for (int z = 0; z < 3; ++z) {
+    EXPECT_NEAR(result->selectivity[z], 1.0 / 3.0, 0.05);
+  }
+}
+
+// k-ary intervals should contain the planted probabilities most of the
+// time at high confidence.
+TEST(IntegrationKary, IntervalsCoverPlantedProbabilities) {
+  size_t covered = 0;
+  size_t total = 0;
+  experiments::RepeatTrials(25, 99, [&](int, Random* rng) {
+    sim::KarySimConfig config;
+    config.arity = 3;
+    config.num_tasks = 1500;
+    auto sim = sim::SimulateKary(config, rng);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    core::KaryOptions options;
+    options.confidence = 0.95;
+    auto result =
+        core::KaryEvaluate(sim->dataset.responses(), 0, 1, 2, options);
+    if (!result.ok()) return;  // Rare degenerate draws are acceptable.
+    for (int w = 0; w < 3; ++w) {
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+          ++total;
+          if (result->workers[w].intervals[r][c].Contains(
+                  sim->true_matrices[w](r, c))) {
+            ++covered;
+          }
+        }
+      }
+    }
+  });
+  ASSERT_GT(total, 400u);
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total),
+            0.85);
+}
+
+// The full evaluator pipeline on the synthetic IC analogue: spammer
+// pre-filtering removes the planted spammers and the surviving
+// assessments track the proxy error rates.
+TEST(IntegrationPipeline, EvaluatorOnSyntheticIc) {
+  auto dataset = sim::SyntheticIc(5);
+  core::CrowdEvaluator::Config config;
+  config.prefilter_spammers = true;
+  config.binary.confidence = 0.9;
+  core::CrowdEvaluator evaluator(config);
+
+  auto report = evaluator.EvaluateBinary(dataset.responses());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->assessments.size(), 10u);
+  for (const auto& a : report->assessments) {
+    auto proxy = dataset.ProxyErrorRate(a.worker);
+    ASSERT_TRUE(proxy.ok());
+    // Kept workers are non-spammers; estimates should be in the right
+    // region even on difficulty-correlated data. IC has only 48 tasks,
+    // so individual estimates are noisy — this bounds gross failures.
+    EXPECT_NEAR(a.error_rate, *proxy, 0.3);
+  }
+}
+
+// All six paper-analogue datasets materialize with the documented
+// shapes.
+TEST(IntegrationPipeline, PaperDatasetShapes) {
+  struct Expectation {
+    const char* name;
+    size_t workers;
+    size_t tasks;
+    int arity;
+  };
+  const Expectation expectations[] = {
+      {"IC", 19, 48, 2},  {"RTE", 164, 800, 2}, {"TEM", 76, 462, 2},
+      {"MOOC", 60, 300, 3}, {"WSD", 35, 350, 2}, {"WS", 40, 200, 2},
+  };
+  for (const auto& e : expectations) {
+    auto dataset = sim::MakePaperDataset(e.name, 1);
+    ASSERT_TRUE(dataset.ok()) << e.name;
+    EXPECT_EQ(dataset->responses().num_workers(), e.workers) << e.name;
+    EXPECT_EQ(dataset->responses().num_tasks(), e.tasks) << e.name;
+    EXPECT_EQ(dataset->responses().arity(), e.arity) << e.name;
+    EXPECT_EQ(dataset->GoldCount(), e.tasks) << e.name;
+  }
+}
+
+// Dawid-Skene EM on simulated data should rank workers consistently
+// with the planted error rates (sanity for the ablation bench).
+TEST(IntegrationBaselines, DawidSkeneRecoversErrorOrdering) {
+  Random rng(31);
+  sim::BinarySimConfig config;
+  config.num_workers = 9;
+  config.num_tasks = 1200;
+  auto sim = sim::SimulateBinary(config, &rng);
+  auto model = baselines::FitDawidSkene(sim.dataset.responses());
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->converged);
+  for (size_t w = 0; w < 9; ++w) {
+    EXPECT_NEAR(model->WorkerErrorRate(w), sim.true_error_rates[w], 0.06)
+        << "worker " << w;
+  }
+}
+
+}  // namespace
+}  // namespace crowd

@@ -1,0 +1,145 @@
+// Tests for the m-worker k-ary extension: fused estimates must track
+// planted matrices, fusing must tighten intervals relative to single
+// triples, coverage must stay near nominal despite the documented
+// independence approximation, and degenerate pools fail cleanly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kary_m_worker.h"
+#include "experiments/runner.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+TEST(KaryMWorker, FusedEstimateTracksPlantedMatrix) {
+  Random rng(3);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_workers = 9;
+  config.num_tasks = 2000;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  KaryMWorkerOptions options;
+  auto assessment =
+      KaryEvaluateWorker(sim->dataset.responses(), 0, options);
+  ASSERT_TRUE(assessment.ok()) << assessment.status();
+  EXPECT_EQ(assessment->num_triples, 4u);  // 8 peers -> 4 pairs.
+  EXPECT_LT(assessment->p.MaxAbsDiff(sim->true_matrices[0]), 0.08);
+}
+
+TEST(KaryMWorker, MoreTriplesTightenIntervals) {
+  Random rng(5);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_workers = 9;
+  config.num_tasks = 1200;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  KaryMWorkerOptions one_triple;
+  one_triple.max_triples = 1;
+  KaryMWorkerOptions many_triples;
+  auto narrow = KaryEvaluateWorker(sim->dataset.responses(), 0,
+                                   many_triples);
+  auto wide = KaryEvaluateWorker(sim->dataset.responses(), 0, one_triple);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  double narrow_total = 0.0, wide_total = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      narrow_total += narrow->intervals[r][c].size();
+      wide_total += wide->intervals[r][c].size();
+    }
+  }
+  EXPECT_LT(narrow_total, wide_total);
+}
+
+TEST(KaryMWorker, CoverageNearNominalDespiteIndependenceApprox) {
+  size_t covered = 0, total = 0;
+  experiments::RepeatTrials(25, 0x6A5, [&](int, Random* rng) {
+    sim::KarySimConfig config;
+    config.arity = 3;
+    config.num_workers = 7;
+    config.num_tasks = 900;
+    auto sim = sim::SimulateKary(config, rng);
+    ASSERT_TRUE(sim.ok());
+    KaryMWorkerOptions options;
+    options.kary.confidence = 0.9;
+    auto assessment =
+        KaryEvaluateWorker(sim->dataset.responses(), 0, options);
+    if (!assessment.ok()) return;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        ++total;
+        if (assessment->intervals[r][c].Contains(
+                sim->true_matrices[0](r, c))) {
+          ++covered;
+        }
+      }
+    }
+  });
+  ASSERT_GT(total, 150u);
+  double coverage =
+      static_cast<double>(covered) / static_cast<double>(total);
+  // The independence approximation costs a few points of coverage at
+  // most; anything below ~0.8 at nominal 0.9 would flag a real defect.
+  EXPECT_GT(coverage, 0.80) << coverage;
+}
+
+TEST(KaryMWorker, RowStochasticOutput) {
+  Random rng(7);
+  sim::KarySimConfig config;
+  config.arity = 4;
+  config.num_workers = 7;
+  config.num_tasks = 1500;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  auto assessment = KaryEvaluateWorker(sim->dataset.responses(), 2, {});
+  ASSERT_TRUE(assessment.ok()) << assessment.status();
+  for (size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(assessment->p(r, c), 0.0);
+      sum += assessment->p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(KaryMWorker, InsufficientOverlapFailsCleanly) {
+  // Three workers with disjoint task ranges.
+  data::ResponseMatrix m(3, 30, 3);
+  for (data::TaskId t = 0; t < 10; ++t) m.Set(0, t, 0).AbortIfNotOk();
+  for (data::TaskId t = 10; t < 20; ++t) m.Set(1, t, 1).AbortIfNotOk();
+  for (data::TaskId t = 20; t < 30; ++t) m.Set(2, t, 2).AbortIfNotOk();
+  auto assessment = KaryEvaluateWorker(m, 0, {});
+  EXPECT_TRUE(assessment.status().IsInsufficientData());
+  EXPECT_TRUE(KaryEvaluateWorker(m, 9, {}).status().IsInvalid());
+
+  auto all = KaryEvaluateAllWorkers(m, {});
+  EXPECT_TRUE(all.assessments.empty());
+  EXPECT_EQ(all.failures.size(), 3u);
+}
+
+TEST(KaryMWorker, EvaluateAllCoversThePool) {
+  Random rng(9);
+  sim::KarySimConfig config;
+  config.arity = 2;
+  config.num_workers = 8;
+  config.num_tasks = 600;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  auto all = KaryEvaluateAllWorkers(sim->dataset.responses(), {});
+  EXPECT_EQ(all.assessments.size() + all.failures.size(), 8u);
+  EXPECT_GE(all.assessments.size(), 6u);
+  for (const auto& a : all.assessments) {
+    EXPECT_LT(a.p.MaxAbsDiff(sim->true_matrices[a.worker]), 0.15)
+        << "worker " << a.worker;
+  }
+}
+
+}  // namespace
+}  // namespace crowd::core

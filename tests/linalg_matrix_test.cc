@@ -1,0 +1,143 @@
+// Unit tests for the dense Matrix/Vector types.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/matrix_functions.h"
+
+namespace crowd::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.IsSquare());
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(m.IsSquare());
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposedAndRowsColumns) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Column(2), (Vector{3, 6}));
+}
+
+TEST(Matrix, SwapRowsAndColumns) {
+  Matrix m{{1, 2}, {3, 4}};
+  m.SwapRows(0, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3);
+  m.SwapColumns(0, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+  // Identity is neutral.
+  EXPECT_TRUE((a * Matrix::Identity(2)).ApproxEquals(a));
+  EXPECT_TRUE((Matrix::Identity(2) * a).ApproxEquals(a));
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Vector y = a * Vector{1, 1};
+  EXPECT_DOUBLE_EQ(y[0], 3);
+  EXPECT_DOUBLE_EQ(y[1], 7);
+}
+
+TEST(Matrix, NormsAndComparison) {
+  Matrix a{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+  Matrix b = a;
+  b(0, 0) += 1e-12;
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-15));
+  EXPECT_NEAR(a.MaxAbsDiff(b), 1e-12, 1e-15);
+}
+
+TEST(Matrix, Symmetry) {
+  Matrix sym{{1, 2}, {2, 5}};
+  EXPECT_TRUE(sym.IsSymmetric());
+  Matrix asym{{1, 2}, {3, 5}};
+  EXPECT_FALSE(asym.IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(VectorOps, DotNormL1) {
+  Vector a = {1, 2, 2};
+  Vector b = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(L1Norm({-1, 2, -3}), 6.0);
+}
+
+TEST(VectorOps, Normalize) {
+  Vector v = {3, 4};
+  EXPECT_TRUE(Normalize(&v));
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.8);
+  Vector zero = {0, 0};
+  EXPECT_FALSE(Normalize(&zero));
+}
+
+TEST(MatrixFunctions, RowSumsAndNormalization) {
+  Matrix m{{2, 2}, {1, 3}};
+  Vector sums = RowSums(m);
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  ASSERT_TRUE(NormalizeRowsToSumOne(&m).ok());
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.75);
+
+  Matrix zero_row{{0, 0}, {1, 1}};
+  EXPECT_TRUE(NormalizeRowsToSumOne(&zero_row).IsNumericalError());
+}
+
+TEST(MatrixFunctions, ClampEntries) {
+  Matrix m{{-1, 0.5}, {2, 0.7}};
+  ClampEntries(&m, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.7);
+}
+
+}  // namespace
+}  // namespace crowd::linalg

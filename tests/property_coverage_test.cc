@@ -1,0 +1,137 @@
+// Parameterized property suite for the binary estimators: across a
+// sweep of (workers, tasks, density, confidence), the reported
+// interval coverage must track the nominal confidence and interval
+// sizes must respond monotonically to the amount of data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/m_worker.h"
+#include "experiments/runner.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace crowd {
+namespace {
+
+struct CoverageCase {
+  size_t workers;
+  size_t tasks;
+  double density;
+  double confidence;
+};
+
+void PrintTo(const CoverageCase& c, std::ostream* os) {
+  *os << "m" << c.workers << "_n" << c.tasks << "_d" << c.density
+      << "_c" << c.confidence;
+}
+
+class BinaryCoverage : public testing::TestWithParam<CoverageCase> {};
+
+TEST_P(BinaryCoverage, CoverageTracksConfidence) {
+  const CoverageCase& param = GetParam();
+  size_t covered = 0, total = 0;
+  experiments::RepeatTrials(
+      60, 0xC0FE + param.workers * 100 + param.tasks,
+      [&](int, Random* rng) {
+        sim::BinarySimConfig config;
+        config.num_workers = param.workers;
+        config.num_tasks = param.tasks;
+        config.assignment = sim::AssignmentConfig::Iid(param.density);
+        auto sim = sim::SimulateBinary(config, rng);
+        core::BinaryOptions options;
+        options.confidence = param.confidence;
+        auto result =
+            core::MWorkerEvaluate(sim.dataset.responses(), options);
+        if (!result.ok()) return;
+        for (const auto& a : result->assessments) {
+          ++total;
+          if (a.interval.Contains(sim.true_error_rates[a.worker])) {
+            ++covered;
+          }
+        }
+      });
+  ASSERT_GT(total, 100u);
+  double accuracy = static_cast<double>(covered) / static_cast<double>(total);
+  // Binomial noise at ~200-400 samples: allow a generous but
+  // informative band around the nominal level.
+  EXPECT_NEAR(accuracy, param.confidence, 0.10)
+      << "coverage " << accuracy << " vs nominal " << param.confidence;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinaryCoverage,
+    testing::Values(CoverageCase{3, 150, 1.0, 0.8},
+                    CoverageCase{3, 300, 0.8, 0.9},
+                    CoverageCase{5, 200, 0.8, 0.5},
+                    CoverageCase{7, 100, 0.8, 0.8},
+                    CoverageCase{7, 300, 0.8, 0.95},
+                    CoverageCase{7, 300, 0.6, 0.7},
+                    CoverageCase{9, 200, 0.7, 0.9},
+                    CoverageCase{11, 150, 0.9, 0.85}));
+
+class IntervalMonotonicity : public testing::TestWithParam<size_t> {};
+
+// More tasks -> smaller intervals, at every pool size.
+TEST_P(IntervalMonotonicity, SizeShrinksWithTasks) {
+  const size_t m = GetParam();
+  double previous = 1e9;
+  for (size_t n : {size_t{100}, size_t{400}, size_t{1600}}) {
+    double total_dev = 0.0;
+    int counted = 0;
+    experiments::RepeatTrials(20, 0xD0 + m + n, [&](int, Random* rng) {
+      sim::BinarySimConfig config;
+      config.num_workers = m;
+      config.num_tasks = n;
+      config.assignment = sim::AssignmentConfig::Iid(0.8);
+      auto sim = sim::SimulateBinary(config, rng);
+      core::BinaryOptions options;
+      auto result =
+          core::MWorkerEvaluate(sim.dataset.responses(), options);
+      if (!result.ok()) return;
+      for (const auto& a : result->assessments) {
+        total_dev += a.deviation;
+        ++counted;
+      }
+    });
+    ASSERT_GT(counted, 0);
+    double mean_dev = total_dev / counted;
+    EXPECT_LT(mean_dev, previous) << "n=" << n;
+    previous = mean_dev;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, IntervalMonotonicity,
+                         testing::Values(3, 5, 7));
+
+// Deviation scales like 1/sqrt(n) on regular data (the Theorem 1
+// deviation is built from variances ~ 1/n). The *median* deviation is
+// compared — at small n an occasional draw lands near the q = 1/2
+// singularity and inflates the mean arbitrarily.
+TEST(IntervalScaling, RootNLaw) {
+  auto median_dev = [](size_t n) {
+    std::vector<double> deviations;
+    experiments::RepeatTrials(40, 0xAB, [&](int, Random* rng) {
+      sim::BinarySimConfig config;
+      config.num_workers = 3;
+      config.num_tasks = n;
+      auto sim = sim::SimulateBinary(config, rng);
+      core::BinaryOptions options;
+      auto result =
+          core::MWorkerEvaluate(sim.dataset.responses(), options);
+      if (!result.ok()) return;
+      for (const auto& a : result->assessments) {
+        deviations.push_back(a.deviation);
+      }
+    });
+    return *stats::Median(std::move(deviations));
+  };
+  double ratio = median_dev(250) / median_dev(1000);
+  EXPECT_NEAR(ratio, 2.0, 0.35);  // sqrt(1000/250) = 2.
+}
+
+}  // namespace
+}  // namespace crowd

@@ -1,0 +1,153 @@
+// Parameterized property suite for the k-ary estimator: planted
+// response matrices are recovered consistently across arities,
+// selectivities and densities, and interval coverage tracks the
+// nominal confidence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kary_estimator.h"
+#include "experiments/runner.h"
+#include "rng/random.h"
+#include "sim/kary_worker.h"
+#include "sim/simulator.h"
+
+namespace crowd {
+namespace {
+
+struct KaryCase {
+  int arity;
+  size_t tasks;
+  double density;
+  double confidence;
+};
+
+void PrintTo(const KaryCase& c, std::ostream* os) {
+  *os << "k" << c.arity << "_n" << c.tasks << "_d" << c.density << "_c"
+      << c.confidence;
+}
+
+class KaryCoverage : public testing::TestWithParam<KaryCase> {};
+
+TEST_P(KaryCoverage, CoverageAtLeastRoughlyNominal) {
+  const KaryCase& param = GetParam();
+  size_t covered = 0, total = 0;
+  int failures = 0;
+  experiments::RepeatTrials(
+      30, 0x6A47 + param.arity * 17 + param.tasks, [&](int, Random* rng) {
+        sim::KarySimConfig config;
+        config.arity = param.arity;
+        config.num_tasks = param.tasks;
+        if (param.density < 1.0) {
+          config.assignment = sim::AssignmentConfig::Iid(param.density);
+        }
+        auto sim = sim::SimulateKary(config, rng);
+        ASSERT_TRUE(sim.ok());
+        core::KaryOptions options;
+        options.confidence = param.confidence;
+        auto result = core::KaryEvaluate(sim->dataset.responses(), 0, 1,
+                                         2, options);
+        if (!result.ok()) {
+          ++failures;
+          return;
+        }
+        for (int w = 0; w < 3; ++w) {
+          for (int r = 0; r < param.arity; ++r) {
+            for (int c = 0; c < param.arity; ++c) {
+              ++total;
+              if (result->workers[w].intervals[r][c].Contains(
+                      sim->true_matrices[w](r, c))) {
+                ++covered;
+              }
+            }
+          }
+        }
+      });
+  ASSERT_GT(total, 200u);
+  EXPECT_LT(failures, 10);
+  double accuracy = static_cast<double>(covered) / static_cast<double>(total);
+  // The paper reports the k-ary intervals as at-least-nominal
+  // (conservative on small data); insist on no large under-coverage.
+  EXPECT_GT(accuracy, param.confidence - 0.12)
+      << "coverage " << accuracy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KaryCoverage,
+    testing::Values(KaryCase{2, 300, 1.0, 0.8},
+                    KaryCase{2, 1000, 0.8, 0.9},
+                    KaryCase{3, 500, 1.0, 0.8},
+                    KaryCase{3, 1000, 0.9, 0.9},
+                    KaryCase{4, 1000, 1.0, 0.8}));
+
+class KaryConsistency : public testing::TestWithParam<int> {};
+
+// Point estimates converge to the planted matrices as n grows.
+TEST_P(KaryConsistency, EstimateErrorShrinksWithTasks) {
+  const int arity = GetParam();
+  auto mean_error = [&](size_t n) {
+    double total = 0.0;
+    int counted = 0;
+    experiments::RepeatTrials(12, 0xC0 + arity, [&](int, Random* rng) {
+      sim::KarySimConfig config;
+      config.arity = arity;
+      config.num_tasks = n;
+      auto sim = sim::SimulateKary(config, rng);
+      ASSERT_TRUE(sim.ok());
+      core::KaryOptions options;
+      auto result =
+          core::KaryEvaluate(sim->dataset.responses(), 0, 1, 2, options);
+      if (!result.ok()) return;
+      for (int w = 0; w < 3; ++w) {
+        total += result->workers[w].p.MaxAbsDiff(sim->true_matrices[w]);
+        ++counted;
+      }
+    });
+    return counted > 0 ? total / counted : 1e9;
+  };
+  double coarse = mean_error(250);
+  double fine = mean_error(4000);
+  EXPECT_LT(fine, coarse);
+  // The recovery problem conditions worse as arity grows (the
+  // R_{3,2}^{-1} and rotation steps amplify sampling noise), so the
+  // acceptance threshold is arity-aware. The k = 4 level matches the
+  // larger interval sizes the paper itself reports at higher arity.
+  const double threshold = arity == 2 ? 0.03 : (arity == 3 ? 0.06 : 0.15);
+  EXPECT_LT(fine, threshold) << "arity " << arity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, KaryConsistency,
+                         testing::Values(2, 3, 4));
+
+// The estimator handles biased (asymmetric) workers — the case the
+// paper emphasizes that symmetric-error models cannot represent.
+TEST(KaryBias, AsymmetricWorkerRecovered) {
+  // Worker 0 has a strong bias toward responding 0.
+  linalg::Matrix biased{{0.95, 0.05}, {0.45, 0.55}};
+  linalg::Matrix good{{0.9, 0.1}, {0.1, 0.9}};
+  Random rng(55);
+  sim::KarySimConfig config;
+  config.arity = 2;
+  config.num_tasks = 8000;
+  config.matrix_pool = {biased};
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  // Overwrite workers 1 and 2 with good responses to isolate w0's bias.
+  sim::KarySimConfig config_good = config;
+  (void)config_good;
+  // Simpler: plant all three from a pool where each worker gets
+  // `biased`; recovery must still show the asymmetry.
+  core::KaryOptions options;
+  auto result =
+      core::KaryEvaluate(sim->dataset.responses(), 0, 1, 2, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& p0 = result->workers[0].p;
+  EXPECT_NEAR(p0(0, 0), 0.95, 0.05);
+  EXPECT_NEAR(p0(1, 0), 0.45, 0.07);
+  // False-positive and false-negative rates clearly differ.
+  EXPECT_GT(p0(1, 0) - p0(0, 1), 0.2);
+}
+
+}  // namespace
+}  // namespace crowd

@@ -1,0 +1,129 @@
+// Unit tests for the deterministic PRNG and variate transforms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace crowd {
+namespace {
+
+TEST(SplitMix, KnownSequence) {
+  // Reference values for SplitMix64 seeded with 0 (from the public
+  // reference implementation).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.Next(), 0x06c45d188009454fULL);
+}
+
+TEST(Random, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  bool any_different = false;
+  Random a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextUint64() != c.NextUint64()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, UniformMeanIsCentered) {
+  Random rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.01);
+}
+
+TEST(Random, UniformIntBoundsAndUniformity) {
+  Random rng(3);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, n / 7, 500);
+  }
+}
+
+TEST(Random, BernoulliRate) {
+  Random rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Random, CategoricalRespectsWeights) {
+  Random rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Random, GaussianMoments) {
+  Random rng(6);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Random, BinomialMatchesMean) {
+  Random rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Binomial(50, 0.2);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Random, ShuffleIsAPermutation) {
+  Random rng(8);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = items;
+  rng.Shuffle(&items);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Random, ForkedStreamsDiffer) {
+  Random parent(9);
+  Random child1 = parent.Fork();
+  Random child2 = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace crowd

@@ -1,0 +1,273 @@
+// Tests for the simulation module: assignment models, worker models,
+// simulators and the paper-dataset synthesizers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/overlap_index.h"
+#include "sim/assignment.h"
+#include "sim/binary_worker.h"
+#include "sim/kary_worker.h"
+#include "sim/paper_datasets.h"
+#include "sim/simulator.h"
+
+namespace crowd::sim {
+namespace {
+
+TEST(Assignment, RegularAttemptsEverything) {
+  Random rng(1);
+  auto mask = DrawAssignment(AssignmentConfig::Regular(), 3, 10, &rng);
+  for (const auto& row : mask) {
+    for (bool attempted : row) EXPECT_TRUE(attempted);
+  }
+}
+
+TEST(Assignment, IidDensityMatchesRate) {
+  Random rng(2);
+  auto mask = DrawAssignment(AssignmentConfig::Iid(0.3), 20, 500, &rng);
+  size_t attempts = 0;
+  for (const auto& row : mask) {
+    for (bool attempted : row) attempts += attempted ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(attempts) / (20 * 500), 0.3, 0.02);
+}
+
+TEST(Assignment, PerWorkerDensities) {
+  Random rng(3);
+  auto config = AssignmentConfig::PerWorker({0.1, 0.9});
+  auto mask = DrawAssignment(config, 2, 2000, &rng);
+  auto rate = [&](size_t w) {
+    size_t count = 0;
+    for (bool attempted : mask[w]) count += attempted ? 1 : 0;
+    return static_cast<double>(count) / 2000;
+  };
+  EXPECT_NEAR(rate(0), 0.1, 0.03);
+  EXPECT_NEAR(rate(1), 0.9, 0.03);
+}
+
+TEST(Assignment, PaperHeterogeneousProfile) {
+  auto config = AssignmentConfig::PaperHeterogeneous(7);
+  ASSERT_EQ(config.per_worker_density.size(), 7u);
+  // d_i = (0.5 i + (m - i)) / m, decreasing from near 1 to 0.5.
+  EXPECT_NEAR(config.per_worker_density[0], (0.5 + 6.0) / 7.0, 1e-12);
+  EXPECT_NEAR(config.per_worker_density[6], 0.5, 1e-12);
+  for (size_t i = 1; i < 7; ++i) {
+    EXPECT_LT(config.per_worker_density[i],
+              config.per_worker_density[i - 1]);
+  }
+}
+
+TEST(BinaryWorker, RatesComeFromPool) {
+  Random rng(4);
+  BinaryPoolConfig config;
+  config.error_rates = {0.1, 0.2, 0.3};
+  auto rates = DrawErrorRates(config, 300, &rng);
+  for (double rate : rates) {
+    EXPECT_TRUE(rate == 0.1 || rate == 0.2 || rate == 0.3) << rate;
+  }
+}
+
+TEST(BinaryWorker, SpammerAdmixture) {
+  Random rng(5);
+  BinaryPoolConfig config;
+  config.spammer_fraction = 0.5;
+  auto rates = DrawErrorRates(config, 1000, &rng);
+  size_t spammers = 0;
+  for (double rate : rates) {
+    if (rate >= config.spammer_lo) ++spammers;
+  }
+  EXPECT_NEAR(static_cast<double>(spammers) / 1000, 0.5, 0.06);
+}
+
+TEST(BinaryWorker, EffectiveErrorRateClamping) {
+  EXPECT_DOUBLE_EQ(EffectiveErrorRate(0.2, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(EffectiveErrorRate(0.2, 10.0), 0.6);
+  EXPECT_DOUBLE_EQ(EffectiveErrorRate(0.2, -10.0), 0.001);
+}
+
+TEST(KaryWorker, PaperPoolsAreRowStochastic) {
+  for (int arity : {2, 3, 4}) {
+    auto pool = PaperMatrixPool(arity);
+    ASSERT_TRUE(pool.ok());
+    EXPECT_EQ(pool->size(), 3u);
+    for (const auto& m : *pool) {
+      ASSERT_EQ(m.rows(), static_cast<size_t>(arity));
+      for (int r = 0; r < arity; ++r) {
+        double sum = 0.0;
+        for (int c = 0; c < arity; ++c) sum += m(r, c);
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+        // Diagonal dominance within the row (the paper's recovery
+        // step depends on it).
+        for (int c = 0; c < arity; ++c) {
+          if (c != r) {
+            EXPECT_GT(m(r, r), m(r, c));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(PaperMatrixPool(7).status().IsInvalid());
+}
+
+TEST(KaryWorker, GeneratedMatricesAreValid) {
+  Random rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto m = RandomResponseMatrix(4, 0.6, 0.9, &rng);
+    auto adj = AdjacentBiasMatrix(5, 0.7, &rng);
+    for (const auto& matrix : {m, adj}) {
+      for (size_t r = 0; r < matrix.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < matrix.cols(); ++c) {
+          EXPECT_GE(matrix(r, c), 0.0);
+          sum += matrix(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(KaryWorker, SampleResponseFollowsRow) {
+  Random rng(7);
+  linalg::Matrix m{{0.7, 0.3}, {0.0, 1.0}};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += SampleResponse(m, 0, &rng);
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleResponse(m, 1, &rng), 1);
+}
+
+TEST(Simulator, BinaryErrorRatesMatchPlanted) {
+  Random rng(8);
+  BinarySimConfig config;
+  config.num_workers = 4;
+  config.num_tasks = 5000;
+  auto out = SimulateBinary(config, &rng);
+  EXPECT_EQ(out.dataset.GoldCount(), 5000u);
+  for (size_t w = 0; w < 4; ++w) {
+    auto proxy = out.dataset.ProxyErrorRate(w);
+    ASSERT_TRUE(proxy.ok());
+    EXPECT_NEAR(*proxy, out.true_error_rates[w], 0.02);
+  }
+}
+
+TEST(Simulator, TaskDifficultyCorrelatesErrors) {
+  // With strong task difficulty, errors of two equally-good workers
+  // concentrate on the same tasks: their conditional agreement given
+  // one erred is above the independent-model prediction.
+  Random rng(9);
+  BinarySimConfig config;
+  config.num_workers = 2;
+  config.num_tasks = 20000;
+  config.pool.error_rates = {0.2};
+  config.task_difficulty_sd = 0.15;
+  auto out = SimulateBinary(config, &rng);
+  size_t both_wrong = 0, first_wrong = 0;
+  for (data::TaskId t = 0; t < 20000; ++t) {
+    int truth = *out.dataset.Gold(t);
+    bool w0 = *out.dataset.responses().Get(0, t) != truth;
+    bool w1 = *out.dataset.responses().Get(1, t) != truth;
+    if (w0) {
+      ++first_wrong;
+      if (w1) ++both_wrong;
+    }
+  }
+  double conditional =
+      static_cast<double>(both_wrong) / static_cast<double>(first_wrong);
+  EXPECT_GT(conditional, 0.24);  // Independent model would give ~0.20.
+}
+
+TEST(Simulator, KaryRespectsSelectivity) {
+  Random rng(10);
+  KarySimConfig config;
+  config.arity = 3;
+  config.num_tasks = 10000;
+  config.selectivity = {0.6, 0.3, 0.1};
+  auto out = SimulateKary(config, &rng);
+  ASSERT_TRUE(out.ok());
+  std::vector<int> counts(3, 0);
+  for (data::TaskId t = 0; t < 10000; ++t) {
+    ++counts[*out->dataset.Gold(t)];
+  }
+  EXPECT_NEAR(counts[0] / 10000.0, 0.6, 0.02);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.1, 0.02);
+}
+
+TEST(Simulator, KaryValidation) {
+  Random rng(11);
+  KarySimConfig config;
+  config.arity = 3;
+  config.selectivity = {0.5, 0.5};  // Wrong size.
+  EXPECT_TRUE(SimulateKary(config, &rng).status().IsInvalid());
+  KarySimConfig config2;
+  config2.arity = 9;  // No paper pool.
+  EXPECT_FALSE(SimulateKary(config2, &rng).ok());
+}
+
+TEST(Simulator, RemoveResponsesFraction) {
+  Random rng(12);
+  BinarySimConfig config;
+  config.num_workers = 5;
+  config.num_tasks = 400;
+  auto out = SimulateBinary(config, &rng);
+  auto thinned = RemoveResponses(out.dataset.responses(), 0.2, &rng);
+  EXPECT_NEAR(static_cast<double>(thinned.TotalResponses()),
+              0.8 * 5 * 400, 60);
+}
+
+TEST(PaperDatasets, DeterministicInSeed) {
+  auto a = SyntheticRte(42);
+  auto b = SyntheticRte(42);
+  auto c = SyntheticRte(43);
+  EXPECT_EQ(a.responses().TotalResponses(), b.responses().TotalResponses());
+  for (data::WorkerId w = 0; w < 5; ++w) {
+    for (data::TaskId t = 0; t < 50; ++t) {
+      EXPECT_EQ(a.responses().Get(w, t), b.responses().Get(w, t));
+    }
+  }
+  // A different seed produces a different response pattern (total
+  // count is fixed by the 10-labels-per-task protocol, so compare the
+  // cells themselves).
+  bool any_difference = false;
+  for (data::WorkerId w = 0; w < a.responses().num_workers(); ++w) {
+    for (data::TaskId t = 0; t < a.responses().num_tasks(); ++t) {
+      if (a.responses().Get(w, t) != c.responses().Get(w, t)) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PaperDatasets, RteSparsityMatchesProtocol) {
+  auto dataset = SyntheticRte(1);
+  // ~10 responses per task.
+  double per_task =
+      static_cast<double>(dataset.responses().TotalResponses()) /
+      static_cast<double>(dataset.responses().num_tasks());
+  EXPECT_NEAR(per_task, 10.0, 0.5);
+  // Long tail: the busiest worker does far more than the median.
+  std::vector<size_t> activity;
+  for (data::WorkerId w = 0; w < dataset.responses().num_workers(); ++w) {
+    activity.push_back(dataset.responses().WorkerResponseCount(w));
+  }
+  std::sort(activity.begin(), activity.end());
+  EXPECT_GT(activity.back(), 4 * activity[activity.size() / 2]);
+}
+
+TEST(PaperDatasets, WsTriplesShareAboutThirtyTasks) {
+  auto dataset = SyntheticWs(2);
+  data::OverlapIndex overlap(dataset.responses());
+  // Adjacent workers share ~half their 60-task windows.
+  size_t common = overlap.TripleCommonCount(0, 1, 2);
+  EXPECT_GE(common, 25u);
+  EXPECT_LE(common, 60u);
+}
+
+TEST(PaperDatasets, UnknownNameRejected) {
+  EXPECT_TRUE(MakePaperDataset("NOPE", 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace crowd::sim

@@ -1,0 +1,170 @@
+// Tests for the stats module: normal distribution, descriptive
+// statistics and binomial confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+#include "stats/descriptive.h"
+#include "stats/intervals.h"
+#include "stats/normal.h"
+
+namespace crowd::stats {
+namespace {
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-16);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Normal, QuantileKnownValues) {
+  EXPECT_NEAR(*NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(*NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(*NormalQuantile(0.995), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(*NormalQuantile(0.0001), -3.719016485455709, 1e-8);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(NormalCdf(*NormalQuantile(p)), p, 1e-12) << p;
+  }
+}
+
+TEST(Normal, QuantileDomain) {
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+  EXPECT_FALSE(NormalQuantile(-0.5).ok());
+}
+
+TEST(Normal, TwoSidedZ) {
+  EXPECT_NEAR(*TwoSidedZ(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(*TwoSidedZ(0.5), 0.6744897501960817, 1e-9);
+  EXPECT_FALSE(TwoSidedZ(0.0).ok());
+  EXPECT_FALSE(TwoSidedZ(1.0).ok());
+}
+
+TEST(Descriptive, MeanVarianceQuantiles) {
+  std::vector<double> sample = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(*Mean(sample), 5.0);
+  EXPECT_NEAR(*Variance(sample), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(*StdDev(sample), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(*Median(sample), 4.5);
+  EXPECT_DOUBLE_EQ(*Quantile(sample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(*Quantile(sample, 1.0), 9.0);
+}
+
+TEST(Descriptive, EdgeCases) {
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_FALSE(Variance({1.0}).ok());
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.5).ok());
+  EXPECT_DOUBLE_EQ(*Quantile({3.0}, 0.7), 3.0);
+}
+
+TEST(Descriptive, RunningStatMatchesBatch) {
+  Random rng(3);
+  std::vector<double> sample;
+  RunningStat stat;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-5, 5);
+    sample.push_back(x);
+    stat.Add(x);
+  }
+  EXPECT_NEAR(stat.mean(), *Mean(sample), 1e-10);
+  EXPECT_NEAR(stat.variance(), *Variance(sample), 1e-8);
+  EXPECT_EQ(stat.count(), 1000u);
+}
+
+TEST(Descriptive, RunningStatMerge) {
+  Random rng(4);
+  RunningStat all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Intervals, BasicGeometry) {
+  ConfidenceInterval ci{0.2, 0.6, 0.9};
+  EXPECT_DOUBLE_EQ(ci.center(), 0.4);
+  EXPECT_DOUBLE_EQ(ci.size(), 0.4);
+  EXPECT_TRUE(ci.Contains(0.2));
+  EXPECT_TRUE(ci.Contains(0.6));
+  EXPECT_FALSE(ci.Contains(0.61));
+  auto clamped = ConfidenceInterval{-0.1, 0.55, 0.9}.ClampTo(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(clamped.lo, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.hi, 0.5);
+}
+
+TEST(Intervals, NormalInterval) {
+  auto ci = NormalInterval(0.3, 0.05, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->lo, 0.3 - 1.959963984540054 * 0.05, 1e-10);
+  EXPECT_NEAR(ci->hi, 0.3 + 1.959963984540054 * 0.05, 1e-10);
+  EXPECT_FALSE(NormalInterval(0.3, -0.1, 0.95).ok());
+  EXPECT_FALSE(NormalInterval(0.3, 0.1, 1.5).ok());
+}
+
+TEST(Intervals, WaldAndWilsonKnownValues) {
+  // 10 successes out of 50 at 95%.
+  auto wald = WaldInterval(10, 50, 0.95);
+  ASSERT_TRUE(wald.ok());
+  EXPECT_NEAR(wald->center(), 0.2, 1e-12);
+  EXPECT_NEAR(wald->size(), 2 * 1.959963984540054 *
+                                 std::sqrt(0.2 * 0.8 / 50),
+              1e-9);
+  auto wilson = WilsonInterval(10, 50, 0.95);
+  ASSERT_TRUE(wilson.ok());
+  // Wilson reference: [0.1124, 0.3304] (standard worked example).
+  EXPECT_NEAR(wilson->lo, 0.1124, 5e-4);
+  EXPECT_NEAR(wilson->hi, 0.3304, 5e-4);
+}
+
+TEST(Intervals, WilsonStaysInsideUnitInterval) {
+  auto all_fail = WilsonInterval(0, 5, 0.99);
+  ASSERT_TRUE(all_fail.ok());
+  EXPECT_GE(all_fail->lo, 0.0);
+  auto all_pass = WilsonInterval(5, 5, 0.99);
+  ASSERT_TRUE(all_pass.ok());
+  EXPECT_LE(all_pass->hi, 1.0);
+}
+
+TEST(Intervals, InvalidCountsRejected) {
+  EXPECT_FALSE(WaldInterval(-1, 10, 0.9).ok());
+  EXPECT_FALSE(WaldInterval(11, 10, 0.9).ok());
+  EXPECT_FALSE(WilsonInterval(1, 0, 0.9).ok());
+}
+
+// Wilson coverage property: simulated coverage is near nominal.
+TEST(IntervalsProperty, WilsonCoverage) {
+  Random rng(7);
+  const double p = 0.3;
+  const int trials = 3000;
+  int covered = 0;
+  for (int i = 0; i < trials; ++i) {
+    int successes = rng.Binomial(40, p);
+    auto ci = WilsonInterval(successes, 40, 0.9);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(p)) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / trials, 0.9, 0.03);
+}
+
+}  // namespace
+}  // namespace crowd::stats

@@ -1,0 +1,50 @@
+// Regenerates the bundled synthetic paper-analogue datasets under a
+// target directory (default: ./data) as CSV pairs:
+//   <name>.responses.csv  (worker,task,response)
+//   <name>.gold.csv       (task,truth)
+//
+//   $ ./build/tools/make_datasets [out_dir] [seed]
+//
+// The checked-in files in data/ were produced with the default seed 1,
+// matching the datasets the benches synthesize in-memory.
+
+#include <cstdio>
+#include <string>
+
+#include "data/dataset_io.h"
+#include "sim/paper_datasets.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace crowd;
+  std::string out_dir = argc > 1 ? argv[1] : "data";
+  uint64_t seed = 1;
+  if (argc > 2) {
+    auto parsed = ParseInt(argv[2]);
+    if (!parsed.ok() || *parsed < 0) {
+      std::fprintf(stderr, "invalid seed: %s\n", argv[2]);
+      return 1;
+    }
+    seed = static_cast<uint64_t>(*parsed);
+  }
+
+  for (const std::string& name : sim::PaperDatasetNames()) {
+    auto dataset = sim::MakePaperDataset(name, seed);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "generating %s failed: %s\n", name.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    std::string base = out_dir + "/" + name;
+    Status status = data::SaveDatasetCsv(*dataset, base + ".responses.csv",
+                                         base + ".gold.csv");
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing %s failed: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s  ->  %s.{responses,gold}.csv\n",
+                dataset->Summary().c_str(), base.c_str());
+  }
+  return 0;
+}
