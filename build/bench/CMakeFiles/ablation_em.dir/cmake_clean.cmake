@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_em.dir/ablation_em.cc.o"
+  "CMakeFiles/ablation_em.dir/ablation_em.cc.o.d"
+  "ablation_em"
+  "ablation_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

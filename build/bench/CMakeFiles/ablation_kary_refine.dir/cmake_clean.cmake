@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kary_refine.dir/ablation_kary_refine.cc.o"
+  "CMakeFiles/ablation_kary_refine.dir/ablation_kary_refine.cc.o.d"
+  "ablation_kary_refine"
+  "ablation_kary_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kary_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_triples.dir/ablation_triples.cc.o"
+  "CMakeFiles/ablation_triples.dir/ablation_triples.cc.o.d"
+  "ablation_triples"
+  "ablation_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

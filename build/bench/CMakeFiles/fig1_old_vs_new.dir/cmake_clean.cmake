@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_old_vs_new.dir/fig1_old_vs_new.cc.o"
+  "CMakeFiles/fig1_old_vs_new.dir/fig1_old_vs_new.cc.o.d"
+  "fig1_old_vs_new"
+  "fig1_old_vs_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_old_vs_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_old_vs_new.
+# This may be replaced when dependencies are built.

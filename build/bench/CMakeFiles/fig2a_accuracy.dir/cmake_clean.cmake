@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_accuracy.dir/fig2a_accuracy.cc.o"
+  "CMakeFiles/fig2a_accuracy.dir/fig2a_accuracy.cc.o.d"
+  "fig2a_accuracy"
+  "fig2a_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_density.dir/fig2b_density.cc.o"
+  "CMakeFiles/fig2b_density.dir/fig2b_density.cc.o.d"
+  "fig2b_density"
+  "fig2b_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

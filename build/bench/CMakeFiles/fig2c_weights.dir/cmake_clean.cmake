@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_weights.dir/fig2c_weights.cc.o"
+  "CMakeFiles/fig2c_weights.dir/fig2c_weights.cc.o.d"
+  "fig2c_weights"
+  "fig2c_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_real_accuracy.dir/fig3_real_accuracy.cc.o"
+  "CMakeFiles/fig3_real_accuracy.dir/fig3_real_accuracy.cc.o.d"
+  "fig3_real_accuracy"
+  "fig3_real_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_real_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

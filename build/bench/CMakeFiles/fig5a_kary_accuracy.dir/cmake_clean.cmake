@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_kary_accuracy.dir/fig5a_kary_accuracy.cc.o"
+  "CMakeFiles/fig5a_kary_accuracy.dir/fig5a_kary_accuracy.cc.o.d"
+  "fig5a_kary_accuracy"
+  "fig5a_kary_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_kary_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

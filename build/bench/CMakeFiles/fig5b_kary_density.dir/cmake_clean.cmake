@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_kary_density.dir/fig5b_kary_density.cc.o"
+  "CMakeFiles/fig5b_kary_density.dir/fig5b_kary_density.cc.o.d"
+  "fig5b_kary_density"
+  "fig5b_kary_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_kary_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_kary_real.dir/fig5c_kary_real.cc.o"
+  "CMakeFiles/fig5c_kary_real.dir/fig5c_kary_real.cc.o.d"
+  "fig5c_kary_real"
+  "fig5c_kary_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_kary_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_stopping.dir/early_stopping.cpp.o"
+  "CMakeFiles/early_stopping.dir/early_stopping.cpp.o.d"
+  "early_stopping"
+  "early_stopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for early_stopping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_grading_kary.dir/peer_grading_kary.cpp.o"
+  "CMakeFiles/peer_grading_kary.dir/peer_grading_kary.cpp.o.d"
+  "peer_grading_kary"
+  "peer_grading_kary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_grading_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for peer_grading_kary.
+# This may be replaced when dependencies are built.

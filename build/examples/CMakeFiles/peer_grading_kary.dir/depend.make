@@ -1,0 +1,2 @@
+# Empty dependencies file for peer_grading_kary.
+# This may be replaced when dependencies are built.

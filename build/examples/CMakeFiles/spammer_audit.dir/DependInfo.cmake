@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spammer_audit.cpp" "examples/CMakeFiles/spammer_audit.dir/spammer_audit.cpp.o" "gcc" "examples/CMakeFiles/spammer_audit.dir/spammer_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

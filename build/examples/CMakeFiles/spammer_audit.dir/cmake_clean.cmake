@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammer_audit.dir/spammer_audit.cpp.o"
+  "CMakeFiles/spammer_audit.dir/spammer_audit.cpp.o.d"
+  "spammer_audit"
+  "spammer_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammer_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_pool_management.dir/worker_pool_management.cpp.o"
+  "CMakeFiles/worker_pool_management.dir/worker_pool_management.cpp.o.d"
+  "worker_pool_management"
+  "worker_pool_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_pool_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

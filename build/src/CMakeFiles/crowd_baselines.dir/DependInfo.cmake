@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dawid_skene.cc" "src/CMakeFiles/crowd_baselines.dir/baselines/dawid_skene.cc.o" "gcc" "src/CMakeFiles/crowd_baselines.dir/baselines/dawid_skene.cc.o.d"
+  "/root/repo/src/baselines/gold_standard.cc" "src/CMakeFiles/crowd_baselines.dir/baselines/gold_standard.cc.o" "gcc" "src/CMakeFiles/crowd_baselines.dir/baselines/gold_standard.cc.o.d"
+  "/root/repo/src/baselines/majority_vote.cc" "src/CMakeFiles/crowd_baselines.dir/baselines/majority_vote.cc.o" "gcc" "src/CMakeFiles/crowd_baselines.dir/baselines/majority_vote.cc.o.d"
+  "/root/repo/src/baselines/old_technique.cc" "src/CMakeFiles/crowd_baselines.dir/baselines/old_technique.cc.o" "gcc" "src/CMakeFiles/crowd_baselines.dir/baselines/old_technique.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_baselines.dir/baselines/dawid_skene.cc.o"
+  "CMakeFiles/crowd_baselines.dir/baselines/dawid_skene.cc.o.d"
+  "CMakeFiles/crowd_baselines.dir/baselines/gold_standard.cc.o"
+  "CMakeFiles/crowd_baselines.dir/baselines/gold_standard.cc.o.d"
+  "CMakeFiles/crowd_baselines.dir/baselines/majority_vote.cc.o"
+  "CMakeFiles/crowd_baselines.dir/baselines/majority_vote.cc.o.d"
+  "CMakeFiles/crowd_baselines.dir/baselines/old_technique.cc.o"
+  "CMakeFiles/crowd_baselines.dir/baselines/old_technique.cc.o.d"
+  "libcrowd_baselines.a"
+  "libcrowd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowd_baselines.a"
+)

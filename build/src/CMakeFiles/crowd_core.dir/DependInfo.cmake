@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement.cc" "src/CMakeFiles/crowd_core.dir/core/agreement.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/agreement.cc.o.d"
+  "/root/repo/src/core/counts_tensor.cc" "src/CMakeFiles/crowd_core.dir/core/counts_tensor.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/counts_tensor.cc.o.d"
+  "/root/repo/src/core/em_refine.cc" "src/CMakeFiles/crowd_core.dir/core/em_refine.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/em_refine.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/crowd_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/crowd_core.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/kary_estimator.cc" "src/CMakeFiles/crowd_core.dir/core/kary_estimator.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/kary_estimator.cc.o.d"
+  "/root/repo/src/core/kary_m_worker.cc" "src/CMakeFiles/crowd_core.dir/core/kary_m_worker.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/kary_m_worker.cc.o.d"
+  "/root/repo/src/core/m_worker.cc" "src/CMakeFiles/crowd_core.dir/core/m_worker.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/m_worker.cc.o.d"
+  "/root/repo/src/core/prob_estimate.cc" "src/CMakeFiles/crowd_core.dir/core/prob_estimate.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/prob_estimate.cc.o.d"
+  "/root/repo/src/core/spammer_filter.cc" "src/CMakeFiles/crowd_core.dir/core/spammer_filter.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/spammer_filter.cc.o.d"
+  "/root/repo/src/core/three_worker.cc" "src/CMakeFiles/crowd_core.dir/core/three_worker.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/three_worker.cc.o.d"
+  "/root/repo/src/core/triangulation.cc" "src/CMakeFiles/crowd_core.dir/core/triangulation.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/triangulation.cc.o.d"
+  "/root/repo/src/core/triple_combiner.cc" "src/CMakeFiles/crowd_core.dir/core/triple_combiner.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/triple_combiner.cc.o.d"
+  "/root/repo/src/core/triple_selection.cc" "src/CMakeFiles/crowd_core.dir/core/triple_selection.cc.o" "gcc" "src/CMakeFiles/crowd_core.dir/core/triple_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_core.dir/core/agreement.cc.o"
+  "CMakeFiles/crowd_core.dir/core/agreement.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/counts_tensor.cc.o"
+  "CMakeFiles/crowd_core.dir/core/counts_tensor.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/em_refine.cc.o"
+  "CMakeFiles/crowd_core.dir/core/em_refine.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/crowd_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/incremental.cc.o"
+  "CMakeFiles/crowd_core.dir/core/incremental.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/kary_estimator.cc.o"
+  "CMakeFiles/crowd_core.dir/core/kary_estimator.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/kary_m_worker.cc.o"
+  "CMakeFiles/crowd_core.dir/core/kary_m_worker.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/m_worker.cc.o"
+  "CMakeFiles/crowd_core.dir/core/m_worker.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/prob_estimate.cc.o"
+  "CMakeFiles/crowd_core.dir/core/prob_estimate.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/spammer_filter.cc.o"
+  "CMakeFiles/crowd_core.dir/core/spammer_filter.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/three_worker.cc.o"
+  "CMakeFiles/crowd_core.dir/core/three_worker.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/triangulation.cc.o"
+  "CMakeFiles/crowd_core.dir/core/triangulation.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/triple_combiner.cc.o"
+  "CMakeFiles/crowd_core.dir/core/triple_combiner.cc.o.d"
+  "CMakeFiles/crowd_core.dir/core/triple_selection.cc.o"
+  "CMakeFiles/crowd_core.dir/core/triple_selection.cc.o.d"
+  "libcrowd_core.a"
+  "libcrowd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

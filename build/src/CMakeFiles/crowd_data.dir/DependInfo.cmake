@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/crowd_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/crowd_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/crowd_data.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/crowd_data.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/overlap_index.cc" "src/CMakeFiles/crowd_data.dir/data/overlap_index.cc.o" "gcc" "src/CMakeFiles/crowd_data.dir/data/overlap_index.cc.o.d"
+  "/root/repo/src/data/response_matrix.cc" "src/CMakeFiles/crowd_data.dir/data/response_matrix.cc.o" "gcc" "src/CMakeFiles/crowd_data.dir/data/response_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_data.dir/data/dataset.cc.o"
+  "CMakeFiles/crowd_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/crowd_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/crowd_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/crowd_data.dir/data/overlap_index.cc.o"
+  "CMakeFiles/crowd_data.dir/data/overlap_index.cc.o.d"
+  "CMakeFiles/crowd_data.dir/data/response_matrix.cc.o"
+  "CMakeFiles/crowd_data.dir/data/response_matrix.cc.o.d"
+  "libcrowd_data.a"
+  "libcrowd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/metrics.cc" "src/CMakeFiles/crowd_experiments.dir/experiments/metrics.cc.o" "gcc" "src/CMakeFiles/crowd_experiments.dir/experiments/metrics.cc.o.d"
+  "/root/repo/src/experiments/report.cc" "src/CMakeFiles/crowd_experiments.dir/experiments/report.cc.o" "gcc" "src/CMakeFiles/crowd_experiments.dir/experiments/report.cc.o.d"
+  "/root/repo/src/experiments/runner.cc" "src/CMakeFiles/crowd_experiments.dir/experiments/runner.cc.o" "gcc" "src/CMakeFiles/crowd_experiments.dir/experiments/runner.cc.o.d"
+  "/root/repo/src/experiments/series.cc" "src/CMakeFiles/crowd_experiments.dir/experiments/series.cc.o" "gcc" "src/CMakeFiles/crowd_experiments.dir/experiments/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

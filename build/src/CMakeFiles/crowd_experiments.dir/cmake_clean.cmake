@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_experiments.dir/experiments/metrics.cc.o"
+  "CMakeFiles/crowd_experiments.dir/experiments/metrics.cc.o.d"
+  "CMakeFiles/crowd_experiments.dir/experiments/report.cc.o"
+  "CMakeFiles/crowd_experiments.dir/experiments/report.cc.o.d"
+  "CMakeFiles/crowd_experiments.dir/experiments/runner.cc.o"
+  "CMakeFiles/crowd_experiments.dir/experiments/runner.cc.o.d"
+  "CMakeFiles/crowd_experiments.dir/experiments/series.cc.o"
+  "CMakeFiles/crowd_experiments.dir/experiments/series.cc.o.d"
+  "libcrowd_experiments.a"
+  "libcrowd_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

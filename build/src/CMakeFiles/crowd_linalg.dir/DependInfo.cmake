@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/francis_qr.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/francis_qr.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/francis_qr.cc.o.d"
+  "/root/repo/src/linalg/hessenberg.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/hessenberg.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/hessenberg.cc.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/jacobi_eigen.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/jacobi_eigen.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/matrix_functions.cc" "src/CMakeFiles/crowd_linalg.dir/linalg/matrix_functions.cc.o" "gcc" "src/CMakeFiles/crowd_linalg.dir/linalg/matrix_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/francis_qr.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/francis_qr.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/hessenberg.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/hessenberg.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/jacobi_eigen.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/jacobi_eigen.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/lu.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/lu.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/crowd_linalg.dir/linalg/matrix_functions.cc.o"
+  "CMakeFiles/crowd_linalg.dir/linalg/matrix_functions.cc.o.d"
+  "libcrowd_linalg.a"
+  "libcrowd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_rng.dir/rng/random.cc.o"
+  "CMakeFiles/crowd_rng.dir/rng/random.cc.o.d"
+  "libcrowd_rng.a"
+  "libcrowd_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

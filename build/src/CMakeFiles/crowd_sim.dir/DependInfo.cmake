@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assignment.cc" "src/CMakeFiles/crowd_sim.dir/sim/assignment.cc.o" "gcc" "src/CMakeFiles/crowd_sim.dir/sim/assignment.cc.o.d"
+  "/root/repo/src/sim/binary_worker.cc" "src/CMakeFiles/crowd_sim.dir/sim/binary_worker.cc.o" "gcc" "src/CMakeFiles/crowd_sim.dir/sim/binary_worker.cc.o.d"
+  "/root/repo/src/sim/kary_worker.cc" "src/CMakeFiles/crowd_sim.dir/sim/kary_worker.cc.o" "gcc" "src/CMakeFiles/crowd_sim.dir/sim/kary_worker.cc.o.d"
+  "/root/repo/src/sim/paper_datasets.cc" "src/CMakeFiles/crowd_sim.dir/sim/paper_datasets.cc.o" "gcc" "src/CMakeFiles/crowd_sim.dir/sim/paper_datasets.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/crowd_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/crowd_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_sim.dir/sim/assignment.cc.o"
+  "CMakeFiles/crowd_sim.dir/sim/assignment.cc.o.d"
+  "CMakeFiles/crowd_sim.dir/sim/binary_worker.cc.o"
+  "CMakeFiles/crowd_sim.dir/sim/binary_worker.cc.o.d"
+  "CMakeFiles/crowd_sim.dir/sim/kary_worker.cc.o"
+  "CMakeFiles/crowd_sim.dir/sim/kary_worker.cc.o.d"
+  "CMakeFiles/crowd_sim.dir/sim/paper_datasets.cc.o"
+  "CMakeFiles/crowd_sim.dir/sim/paper_datasets.cc.o.d"
+  "CMakeFiles/crowd_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/crowd_sim.dir/sim/simulator.cc.o.d"
+  "libcrowd_sim.a"
+  "libcrowd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

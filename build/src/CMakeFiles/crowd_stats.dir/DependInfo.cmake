@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/delta_method.cc" "src/CMakeFiles/crowd_stats.dir/stats/delta_method.cc.o" "gcc" "src/CMakeFiles/crowd_stats.dir/stats/delta_method.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/crowd_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/crowd_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/intervals.cc" "src/CMakeFiles/crowd_stats.dir/stats/intervals.cc.o" "gcc" "src/CMakeFiles/crowd_stats.dir/stats/intervals.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/CMakeFiles/crowd_stats.dir/stats/normal.cc.o" "gcc" "src/CMakeFiles/crowd_stats.dir/stats/normal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crowd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crowd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_stats.dir/stats/delta_method.cc.o"
+  "CMakeFiles/crowd_stats.dir/stats/delta_method.cc.o.d"
+  "CMakeFiles/crowd_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/crowd_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/crowd_stats.dir/stats/intervals.cc.o"
+  "CMakeFiles/crowd_stats.dir/stats/intervals.cc.o.d"
+  "CMakeFiles/crowd_stats.dir/stats/normal.cc.o"
+  "CMakeFiles/crowd_stats.dir/stats/normal.cc.o.d"
+  "libcrowd_stats.a"
+  "libcrowd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

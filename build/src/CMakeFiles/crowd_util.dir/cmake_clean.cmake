@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_util.dir/util/csv.cc.o"
+  "CMakeFiles/crowd_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/crowd_util.dir/util/logging.cc.o"
+  "CMakeFiles/crowd_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/crowd_util.dir/util/status.cc.o"
+  "CMakeFiles/crowd_util.dir/util/status.cc.o.d"
+  "CMakeFiles/crowd_util.dir/util/string_util.cc.o"
+  "CMakeFiles/crowd_util.dir/util/string_util.cc.o.d"
+  "libcrowd_util.a"
+  "libcrowd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

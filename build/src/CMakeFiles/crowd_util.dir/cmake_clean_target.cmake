@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowd_util.a"
+)

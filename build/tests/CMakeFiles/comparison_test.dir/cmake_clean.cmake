@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_test.dir/comparison_test.cc.o"
+  "CMakeFiles/comparison_test.dir/comparison_test.cc.o.d"
+  "comparison_test"
+  "comparison_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

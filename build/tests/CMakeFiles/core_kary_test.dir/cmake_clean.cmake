@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kary_test.dir/core_kary_test.cc.o"
+  "CMakeFiles/core_kary_test.dir/core_kary_test.cc.o.d"
+  "core_kary_test"
+  "core_kary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

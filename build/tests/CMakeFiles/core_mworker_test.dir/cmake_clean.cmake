@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mworker_test.dir/core_mworker_test.cc.o"
+  "CMakeFiles/core_mworker_test.dir/core_mworker_test.cc.o.d"
+  "core_mworker_test"
+  "core_mworker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mworker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_files_test.dir/dataset_files_test.cc.o"
+  "CMakeFiles/dataset_files_test.dir/dataset_files_test.cc.o.d"
+  "dataset_files_test"
+  "dataset_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_method_test.dir/delta_method_test.cc.o"
+  "CMakeFiles/delta_method_test.dir/delta_method_test.cc.o.d"
+  "delta_method_test"
+  "delta_method_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

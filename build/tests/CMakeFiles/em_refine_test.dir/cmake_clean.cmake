@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_refine_test.dir/em_refine_test.cc.o"
+  "CMakeFiles/em_refine_test.dir/em_refine_test.cc.o.d"
+  "em_refine_test"
+  "em_refine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

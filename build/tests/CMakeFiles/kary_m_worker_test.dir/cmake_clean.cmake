@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_m_worker_test.dir/kary_m_worker_test.cc.o"
+  "CMakeFiles/kary_m_worker_test.dir/kary_m_worker_test.cc.o.d"
+  "kary_m_worker_test"
+  "kary_m_worker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_m_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

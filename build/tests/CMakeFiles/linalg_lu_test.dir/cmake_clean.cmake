@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_lu_test.dir/linalg_lu_test.cc.o"
+  "CMakeFiles/linalg_lu_test.dir/linalg_lu_test.cc.o.d"
+  "linalg_lu_test"
+  "linalg_lu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

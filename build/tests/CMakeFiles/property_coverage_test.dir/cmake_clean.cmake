@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_coverage_test.dir/property_coverage_test.cc.o"
+  "CMakeFiles/property_coverage_test.dir/property_coverage_test.cc.o.d"
+  "property_coverage_test"
+  "property_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

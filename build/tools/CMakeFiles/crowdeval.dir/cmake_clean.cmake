@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdeval.dir/crowdeval.cc.o"
+  "CMakeFiles/crowdeval.dir/crowdeval.cc.o.d"
+  "crowdeval"
+  "crowdeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

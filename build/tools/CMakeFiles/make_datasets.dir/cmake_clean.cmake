@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_datasets.dir/make_datasets.cc.o"
+  "CMakeFiles/make_datasets.dir/make_datasets.cc.o.d"
+  "make_datasets"
+  "make_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
