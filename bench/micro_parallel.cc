@@ -1,0 +1,133 @@
+// Serial-vs-parallel wall-clock of the m-worker evaluation engine.
+//
+// Runs MWorkerEvaluate on the Figure 2 simulation sizes (m ∈ {3, 7},
+// n ∈ {100, 300}, density 0.8) plus a production-scale 50×5000 matrix,
+// once per thread count, and reports the speedup over the serial
+// (num_threads = 1) run. Every parallel result is checked to be
+// bit-identical to the serial one — the process exits non-zero on any
+// mismatch, so the binary doubles as a determinism check.
+//
+// Thread counts beyond the machine's core count cannot speed anything
+// up; the hardware concurrency is printed so the numbers can be read
+// in context.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/m_worker.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+#include "util/stopwatch.h"
+
+namespace crowd {
+namespace {
+
+struct Case {
+  size_t workers;
+  size_t tasks;
+  double density;
+  int reps;  // Timing repetitions; best-of is reported.
+};
+
+sim::BinarySimOutput MakeBinary(const Case& c) {
+  Random rng(42 + c.workers * 131 + c.tasks);
+  sim::BinarySimConfig config;
+  config.num_workers = c.workers;
+  config.num_tasks = c.tasks;
+  config.assignment = sim::AssignmentConfig::Iid(c.density);
+  return sim::SimulateBinary(config, &rng);
+}
+
+bool BitIdentical(const core::MWorkerResult& a,
+                  const core::MWorkerResult& b) {
+  if (a.assessments.size() != b.assessments.size()) return false;
+  if (a.failures.size() != b.failures.size()) return false;
+  for (size_t i = 0; i < a.assessments.size(); ++i) {
+    const core::WorkerAssessment& x = a.assessments[i];
+    const core::WorkerAssessment& y = b.assessments[i];
+    if (x.worker != y.worker || x.error_rate != y.error_rate ||
+        x.deviation != y.deviation || x.interval.lo != y.interval.lo ||
+        x.interval.hi != y.interval.hi ||
+        x.interval.confidence != y.interval.confidence ||
+        x.num_triples != y.num_triples || x.any_clamped != y.any_clamped) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    if (a.failures[i].first != b.failures[i].first ||
+        a.failures[i].second.code() != b.failures[i].second.code() ||
+        a.failures[i].second.message() != b.failures[i].second.message()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double TimedRun(const data::ResponseMatrix& responses,
+                const core::BinaryOptions& options, int reps,
+                core::MWorkerResult* out) {
+  double best_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    auto result = core::MWorkerEvaluate(responses, options);
+    double ms = timer.ElapsedMillis();
+    result.status().AbortIfNotOk();
+    best_ms = std::min(best_ms, ms);
+    if (rep == 0) *out = std::move(*result);
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int Main() {
+  const std::vector<Case> cases = {
+      {3, 100, 0.8, 20},  {7, 100, 0.8, 20}, {3, 300, 0.8, 10},
+      {7, 300, 0.8, 10},  {50, 5000, 0.8, 3},
+  };
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::printf("# MWorkerEvaluate serial vs parallel "
+              "(hardware cores: %zu)\n", hw);
+  std::printf("%-8s %-8s %-8s %-10s %-8s %s\n", "workers", "tasks",
+              "threads", "best_ms", "speedup", "identical");
+  bool all_identical = true;
+  for (const Case& c : cases) {
+    auto sim = MakeBinary(c);
+    const data::ResponseMatrix& responses = sim.dataset.responses();
+    core::BinaryOptions options;
+
+    core::MWorkerResult serial;
+    options.num_threads = 1;
+    double serial_ms = TimedRun(responses, options, c.reps, &serial);
+    std::printf("%-8zu %-8zu %-8d %-10.3f %-8.2f %s\n", c.workers,
+                c.tasks, 1, serial_ms, 1.0, "yes");
+
+    for (size_t threads : thread_counts) {
+      if (threads == 1) continue;
+      core::MWorkerResult parallel;
+      options.num_threads = threads;
+      double parallel_ms = TimedRun(responses, options, c.reps, &parallel);
+      bool identical = BitIdentical(serial, parallel);
+      all_identical = all_identical && identical;
+      std::printf("%-8zu %-8zu %-8zu %-10.3f %-8.2f %s\n", c.workers,
+                  c.tasks, threads, parallel_ms,
+                  serial_ms / parallel_ms, identical ? "yes" : "NO");
+    }
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel output differs from the serial run\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace crowd
+
+int main() { return crowd::Main(); }

@@ -1,13 +1,31 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+
+#include "util/string_util.h"
+
 namespace crowd::core {
+
+namespace {
+
+/// The façade-level num_threads is the default for entry points whose
+/// own options leave the knob at 1 (serial); a more specific non-default
+/// setting wins.
+size_t MergeThreadKnob(size_t option_threads, size_t config_threads) {
+  return option_threads == 1 ? config_threads : option_threads;
+}
+
+}  // namespace
 
 Result<CrowdEvaluator::BinaryReport> CrowdEvaluator::EvaluateBinary(
     const data::ResponseMatrix& responses) const {
   BinaryReport report;
+  BinaryOptions binary = config_.binary;
+  binary.num_threads =
+      MergeThreadKnob(binary.num_threads, config_.num_threads);
   if (!config_.prefilter_spammers) {
     CROWD_ASSIGN_OR_RETURN(MWorkerResult result,
-                           MWorkerEvaluate(responses, config_.binary));
+                           MWorkerEvaluate(responses, binary));
     report.assessments = std::move(result.assessments);
     report.failures = std::move(result.failures);
     return report;
@@ -16,9 +34,8 @@ Result<CrowdEvaluator::BinaryReport> CrowdEvaluator::EvaluateBinary(
   CROWD_ASSIGN_OR_RETURN(SpammerFilterResult filtered,
                          FilterSpammers(responses, config_.spammer));
   report.removed_spammers = filtered.removed;
-  CROWD_ASSIGN_OR_RETURN(
-      MWorkerResult result,
-      MWorkerEvaluate(filtered.filtered, config_.binary));
+  CROWD_ASSIGN_OR_RETURN(MWorkerResult result,
+                         MWorkerEvaluate(filtered.filtered, binary));
   // Map filtered indices back to the original worker ids.
   report.assessments = std::move(result.assessments);
   for (WorkerAssessment& a : report.assessments) {
@@ -28,6 +45,18 @@ Result<CrowdEvaluator::BinaryReport> CrowdEvaluator::EvaluateBinary(
   for (auto& [worker, status] : report.failures) {
     worker = filtered.kept[worker];
   }
+  // Pruned workers must not silently vanish from the report: record
+  // each one as a failure with the dedicated status so that
+  // assessments ∪ failures covers every worker of the input.
+  for (data::WorkerId w : report.removed_spammers) {
+    report.failures.emplace_back(
+        w, Status::FilteredOut(StrFormat(
+               "worker %zu removed by the spammer pre-filter "
+               "(majority-vote proxy error above %.2f)",
+               w, config_.spammer.threshold)));
+  }
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return report;
 }
 
@@ -42,6 +71,8 @@ KaryMWorkerResult CrowdEvaluator::EvaluateKaryAll(
     const KaryMWorkerOptions& options) const {
   KaryMWorkerOptions merged = options;
   merged.kary = config_.kary;
+  merged.num_threads =
+      MergeThreadKnob(merged.num_threads, config_.num_threads);
   return KaryEvaluateAllWorkers(responses, merged);
 }
 

@@ -1,5 +1,9 @@
 #include "core/incremental.h"
 
+#include <utility>
+
+#include "util/thread_pool.h"
+
 namespace crowd::core {
 
 IncrementalEvaluator::IncrementalEvaluator(size_t num_workers,
@@ -25,14 +29,50 @@ Status IncrementalEvaluator::AddResponse(data::WorkerId w, data::TaskId t,
   return Status::OK();
 }
 
-void IncrementalEvaluator::MarkTaskDirty(data::TaskId /*t*/,
+void IncrementalEvaluator::MarkTaskDirty(data::TaskId t,
                                          data::WorkerId responder) {
   ++epoch_counter_;
-  for (data::WorkerId v = 0; v < responses_.num_workers(); ++v) {
-    if (v == responder || overlap_.CommonCount(v, responder) > 0) {
-      dirty_epoch_[v] = epoch_counter_;
+  const size_t m = responses_.num_workers();
+  // The response only changed statistics joining the responder with
+  // co-attempters of task t: the pair counts c/a_{responder,u} for
+  // each co-attempter u, and the triple counts c_{responder,u1,u2}.
+  // Worker v's evaluation reads pair/triple statistics over
+  // {v} ∪ peers(v), where every peer shares at least one task with v.
+  // So v must be invalidated iff
+  //   (a) v is the responder,
+  //   (b) v attempted t itself (its pair with the responder changed),
+  //   (c) v can read a changed peer-peer statistic: the responder and
+  //       some other co-attempter of t are both potential peers of v.
+  // Workers merely sharing some task with the responder but failing
+  // all three conditions keep their caches — the over-invalidation
+  // this replaced dirtied every one of them.
+  std::vector<data::WorkerId> co_attempters;
+  for (data::WorkerId v = 0; v < m; ++v) {
+    if (v != responder && overlap_.Attempted(v, t)) {
+      co_attempters.push_back(v);
     }
   }
+  for (data::WorkerId v = 0; v < m; ++v) {
+    bool affected = v == responder || overlap_.Attempted(v, t);
+    if (!affected && overlap_.CommonCount(v, responder) > 0) {
+      for (data::WorkerId u : co_attempters) {
+        if (overlap_.CommonCount(v, u) > 0) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) dirty_epoch_[v] = epoch_counter_;
+  }
+}
+
+const Result<WorkerAssessment>& IncrementalEvaluator::EnsureEvaluated(
+    data::WorkerId worker) {
+  if (IsStale(worker)) {
+    cache_[worker] = EvaluateWorker(overlap_, worker, options_);
+    cached_epoch_[worker] = dirty_epoch_[worker];
+  }
+  return *cache_[worker];
 }
 
 Result<WorkerAssessment> IncrementalEvaluator::Evaluate(
@@ -40,21 +80,35 @@ Result<WorkerAssessment> IncrementalEvaluator::Evaluate(
   if (worker >= responses_.num_workers()) {
     return Status::Invalid("Evaluate: worker id out of range");
   }
-  if (cache_[worker].has_value() &&
-      cached_epoch_[worker] == dirty_epoch_[worker]) {
-    return *cache_[worker];
-  }
-  Result<WorkerAssessment> assessment =
-      EvaluateWorker(overlap_, worker, options_);
-  cache_[worker] = assessment;
-  cached_epoch_[worker] = dirty_epoch_[worker];
-  return assessment;
+  // A cache hit hands out a copy of the stored Result without
+  // re-storing anything; the cached entry stays valid.
+  return EnsureEvaluated(worker);
 }
 
 MWorkerResult IncrementalEvaluator::EvaluateAll() {
+  const size_t m = responses_.num_workers();
+  std::vector<data::WorkerId> stale;
+  for (data::WorkerId w = 0; w < m; ++w) {
+    if (IsStale(w)) stale.push_back(w);
+  }
+  if (options_.num_threads != 1 && stale.size() > 1) {
+    // Refresh the stale entries in parallel: each evaluation reads
+    // only the (frozen, for the duration of this call) overlap index
+    // and writes its own cache slot.
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(0, stale.size(), [&](size_t i) {
+      data::WorkerId w = stale[i];
+      cache_[w] = EvaluateWorker(overlap_, w, options_);
+      cached_epoch_[w] = dirty_epoch_[w];
+      return Status::OK();
+    }).AbortIfNotOk();  // Only an escaped exception lands here.
+  } else {
+    for (data::WorkerId w : stale) EnsureEvaluated(w);
+  }
   MWorkerResult out;
-  for (data::WorkerId w = 0; w < responses_.num_workers(); ++w) {
-    auto assessment = Evaluate(w);
+  for (data::WorkerId w = 0; w < m; ++w) {
+    // One copy out of the cache, which stays warm for later calls.
+    const Result<WorkerAssessment>& assessment = EnsureEvaluated(w);
     if (assessment.ok()) {
       out.assessments.push_back(*assessment);
     } else {
@@ -67,10 +121,7 @@ MWorkerResult IncrementalEvaluator::EvaluateAll() {
 size_t IncrementalEvaluator::DirtyWorkerCount() const {
   size_t count = 0;
   for (data::WorkerId w = 0; w < responses_.num_workers(); ++w) {
-    if (!cache_[w].has_value() ||
-        cached_epoch_[w] != dirty_epoch_[w]) {
-      ++count;
-    }
+    if (IsStale(w)) ++count;
   }
   return count;
 }

@@ -7,11 +7,9 @@
 // pairwise agreement statistics up to date in O(m) per response
 // (instead of the O(m^2 n) rebuild a batch evaluation starts with).
 // Assessments are computed on demand from the current statistics and
-// memoized; a new response invalidates exactly the workers whose
-// statistics it touched (the responder and everyone who attempted the
-// same task, plus — conservatively — any worker evaluated against
-// them, which in practice means cached entries are invalidated by a
-// per-worker dirty epoch).
+// memoized; a new response invalidates only the workers whose
+// evaluation can actually observe the changed statistics (see
+// MarkTaskDirty), tracked by a per-worker dirty epoch.
 
 #ifndef CROWD_CORE_INCREMENTAL_H_
 #define CROWD_CORE_INCREMENTAL_H_
@@ -59,7 +57,9 @@ class IncrementalEvaluator {
   /// changed since the last call.
   Result<WorkerAssessment> Evaluate(data::WorkerId worker);
 
-  /// \brief Evaluates all workers (memoized per worker).
+  /// \brief Evaluates all workers (memoized per worker). Stale workers
+  /// are re-evaluated in parallel when `options.num_threads != 1`; the
+  /// result is bit-identical for every thread count.
   MWorkerResult EvaluateAll();
 
   /// \brief Workers whose cached assessment is stale (or missing).
@@ -68,16 +68,27 @@ class IncrementalEvaluator {
  private:
   void MarkTaskDirty(data::TaskId t, data::WorkerId responder);
 
+  /// Re-evaluates `worker` if its cache entry is stale or missing and
+  /// returns the (now fresh) cached entry. Callers copy out of the
+  /// returned reference; the cache itself is never moved from.
+  const Result<WorkerAssessment>& EnsureEvaluated(data::WorkerId worker);
+
+  bool IsStale(data::WorkerId worker) const {
+    return !cache_[worker].has_value() ||
+           cached_epoch_[worker] != dirty_epoch_[worker];
+  }
+
   BinaryOptions options_;
   data::ResponseMatrix responses_;
   data::OverlapIndex overlap_;
 
   // Memoization: a worker's cache entry is valid while its
-  // cached_epoch matches its dirty_epoch. A response by worker w only
-  // changes statistics of pairs involving w, and w enters worker v's
-  // evaluation (as peer or peer's partner) only when v and w share at
-  // least one task — so a response dirties exactly w and every worker
-  // overlapping w, which is both exact and O(m) to mark.
+  // cached_epoch matches its dirty_epoch. A response by worker w to
+  // task t only changes statistics of pairs/triples joining w with
+  // co-attempters of t, so MarkTaskDirty invalidates the responder,
+  // the co-attempters, and the workers that can read one of those
+  // changed pair statistics through their peers — not every worker
+  // that merely shares some task with w.
   std::vector<uint64_t> dirty_epoch_;
   std::vector<uint64_t> cached_epoch_;
   std::vector<std::optional<Result<WorkerAssessment>>> cache_;

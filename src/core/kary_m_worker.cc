@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "core/triple_selection.h"
-#include "data/overlap_index.h"
 #include "linalg/matrix_functions.h"
 #include "stats/normal.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace crowd::core {
 
@@ -57,11 +59,18 @@ std::vector<WorkerPair> QualifiedPairs(const data::OverlapIndex& overlap,
 Result<KaryWorkerAssessment> KaryEvaluateWorker(
     const data::ResponseMatrix& responses, data::WorkerId worker,
     const KaryMWorkerOptions& options) {
+  data::OverlapIndex overlap(responses);
+  return KaryEvaluateWorker(responses, overlap, worker, options);
+}
+
+Result<KaryWorkerAssessment> KaryEvaluateWorker(
+    const data::ResponseMatrix& responses,
+    const data::OverlapIndex& overlap, data::WorkerId worker,
+    const KaryMWorkerOptions& options) {
   if (worker >= responses.num_workers()) {
     return Status::Invalid(StrFormat("worker id %zu out of range", worker));
   }
   const int k = responses.arity();
-  data::OverlapIndex overlap(responses);
   std::vector<WorkerPair> pairs =
       QualifiedPairs(overlap, worker, options.min_pair_overlap);
   if (pairs.empty()) {
@@ -140,9 +149,29 @@ Result<KaryWorkerAssessment> KaryEvaluateWorker(
 KaryMWorkerResult KaryEvaluateAllWorkers(
     const data::ResponseMatrix& responses,
     const KaryMWorkerOptions& options) {
+  // One shared overlap build; per-worker evaluations read it
+  // immutably, so they fan out over the pool. Slots + id-ordered merge
+  // keep the output bit-identical to the serial path.
+  data::OverlapIndex overlap(responses);
+  const size_t m = responses.num_workers();
+  std::vector<std::optional<Result<KaryWorkerAssessment>>> slots(m);
+  ThreadPool pool(options.num_threads);
+  Status loop_status = pool.ParallelFor(0, m, [&](size_t w) {
+    slots[w] = KaryEvaluateWorker(responses, overlap, w, options);
+    return Status::OK();
+  });
   KaryMWorkerResult out;
-  for (data::WorkerId w = 0; w < responses.num_workers(); ++w) {
-    auto assessment = KaryEvaluateWorker(responses, w, options);
+  for (data::WorkerId w = 0; w < m; ++w) {
+    if (!slots[w].has_value()) {
+      // Only reachable if the loop body itself failed (e.g. an
+      // exception was converted to a Status by the pool).
+      out.failures.emplace_back(
+          w, loop_status.ok()
+                 ? Status::Internal("worker evaluation did not run")
+                 : loop_status);
+      continue;
+    }
+    Result<KaryWorkerAssessment>& assessment = *slots[w];
     if (assessment.ok()) {
       out.assessments.push_back(std::move(*assessment));
     } else {

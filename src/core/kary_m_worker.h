@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/kary_estimator.h"
+#include "data/overlap_index.h"
 #include "data/response_matrix.h"
 #include "util/result.h"
 
@@ -35,6 +36,10 @@ struct KaryMWorkerOptions {
   size_t min_pair_overlap = 20;
   /// Cap on the number of triples per worker (0 = no cap).
   size_t max_triples = 0;
+  /// Worker-level parallelism of KaryEvaluateAllWorkers: 1 = serial
+  /// (default), 0 = one thread per hardware core, n = n threads. The
+  /// output is bit-identical for every value.
+  size_t num_threads = 1;
 };
 
 /// \brief Fused k-ary assessment of one worker.
@@ -54,6 +59,14 @@ struct KaryWorkerAssessment {
 /// meets the overlap threshold (or all triples degenerate).
 Result<KaryWorkerAssessment> KaryEvaluateWorker(
     const data::ResponseMatrix& responses, data::WorkerId worker,
+    const KaryMWorkerOptions& options = {});
+
+/// \brief Same, against a prebuilt overlap index of `responses` (used
+/// by KaryEvaluateAllWorkers to share one O(m^2 n) build across all
+/// workers instead of rebuilding it per worker).
+Result<KaryWorkerAssessment> KaryEvaluateWorker(
+    const data::ResponseMatrix& responses,
+    const data::OverlapIndex& overlap, data::WorkerId worker,
     const KaryMWorkerOptions& options = {});
 
 /// \brief Evaluates every worker; unevaluable workers are reported

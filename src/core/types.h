@@ -61,6 +61,10 @@ struct BinaryOptions {
   PairingStrategy pairing = PairingStrategy::kGreedy;
   /// Seed for PairingStrategy::kRandom.
   uint64_t pairing_seed = 1;
+  /// Worker-level parallelism of the m-worker loop: 1 = serial
+  /// (default), 0 = one thread per hardware core, n = n threads. The
+  /// output is bit-identical for every value (see util/thread_pool.h).
+  size_t num_threads = 1;
 };
 
 /// \brief The evaluation result for one worker.

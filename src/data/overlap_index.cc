@@ -9,28 +9,37 @@ namespace crowd::data {
 OverlapIndex::OverlapIndex(const ResponseMatrix& responses)
     : responses_(responses),
       num_workers_(responses.num_workers()),
+      arity_(static_cast<size_t>(responses.arity())),
       words_per_worker_((responses.num_tasks() + 63) / 64),
       attempt_bits_(num_workers_ * words_per_worker_, 0),
+      value_bits_(num_workers_ * arity_ * words_per_worker_, 0),
       pair_common_(num_workers_ * num_workers_, 0),
       pair_agree_(num_workers_ * num_workers_, 0) {
   const size_t n = responses.num_tasks();
   for (WorkerId w = 0; w < num_workers_; ++w) {
-    uint64_t* bits = attempt_bits_.data() + w * words_per_worker_;
     for (TaskId t = 0; t < n; ++t) {
-      if (responses.Has(w, t)) bits[t / 64] |= uint64_t{1} << (t % 64);
+      auto r = responses.Get(w, t);
+      if (!r.has_value()) continue;
+      const uint64_t mask = uint64_t{1} << (t % 64);
+      AttemptBits(w)[t / 64] |= mask;
+      ValueBits(w, static_cast<size_t>(*r))[t / 64] |= mask;
     }
   }
   for (WorkerId i = 0; i < num_workers_; ++i) {
+    const uint64_t* ai = AttemptBits(i);
     for (WorkerId j = i; j < num_workers_; ++j) {
+      const uint64_t* aj = AttemptBits(j);
       size_t common = 0;
+      for (size_t word = 0; word < words_per_worker_; ++word) {
+        common += static_cast<size_t>(std::popcount(ai[word] & aj[word]));
+      }
       size_t agree = 0;
-      for (TaskId t = 0; t < n; ++t) {
-        auto ri = responses.Get(i, t);
-        if (!ri.has_value()) continue;
-        auto rj = responses.Get(j, t);
-        if (!rj.has_value()) continue;
-        ++common;
-        if (*ri == *rj) ++agree;
+      for (size_t r = 0; r < arity_; ++r) {
+        const uint64_t* vi = ValueBits(i, r);
+        const uint64_t* vj = ValueBits(j, r);
+        for (size_t word = 0; word < words_per_worker_; ++word) {
+          agree += static_cast<size_t>(std::popcount(vi[word] & vj[word]));
+        }
       }
       pair_common_[Index(i, j)] = pair_common_[Index(j, i)] = common;
       pair_agree_[Index(i, j)] = pair_agree_[Index(j, i)] = agree;
@@ -85,25 +94,29 @@ Status OverlapIndex::ApplyResponse(WorkerId w, TaskId t,
       }
     }
   }
+  const size_t word = t / 64;
+  const uint64_t mask = uint64_t{1} << (t % 64);
   if (newly_attempted) {
     // Self counts track the worker's attempted-task total.
     ++pair_common_[Index(w, w)];
     ++pair_agree_[Index(w, w)];
-    attempt_bits_[w * words_per_worker_ + t / 64] |= uint64_t{1}
-                                                     << (t % 64);
+    AttemptBits(w)[word] |= mask;
+  } else {
+    ValueBits(w, static_cast<size_t>(*previous))[word] &= ~mask;
   }
+  ValueBits(w, static_cast<size_t>(*current))[word] |= mask;
   return Status::OK();
 }
 
 size_t OverlapIndex::TripleCommonCount(WorkerId i, WorkerId j,
                                        WorkerId k) const {
   CROWD_DCHECK(i < num_workers_ && j < num_workers_ && k < num_workers_);
-  const uint64_t* a = attempt_bits_.data() + i * words_per_worker_;
-  const uint64_t* b = attempt_bits_.data() + j * words_per_worker_;
-  const uint64_t* c = attempt_bits_.data() + k * words_per_worker_;
+  const uint64_t* a = AttemptBits(i);
+  const uint64_t* b = AttemptBits(j);
+  const uint64_t* c = AttemptBits(k);
   size_t count = 0;
   for (size_t word = 0; word < words_per_worker_; ++word) {
-    count += std::popcount(a[word] & b[word] & c[word]);
+    count += static_cast<size_t>(std::popcount(a[word] & b[word] & c[word]));
   }
   return count;
 }

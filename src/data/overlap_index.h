@@ -3,10 +3,22 @@
 //   a_ij   — of those, tasks where their responses agree,
 //   c_ijk  — tasks attempted by all of i, j, k (bitset popcount).
 // These are the raw ingredients of the agreement rates q_ij and of the
-// Lemma 3 / Lemma 4 covariance formulas. Triple counts are needed for
-// every pair of triples in Algorithm A2's combination step, so they
-// are computed from per-worker attempt bitmasks (O(n/64) each) rather
-// than by scanning tasks.
+// Lemma 3 / Lemma 4 covariance formulas.
+//
+// All counts are computed from per-worker bitsets: one attempt mask
+// per worker, plus one mask per (worker, response value) pair. Then
+//   c_ij  = popcount(A_i & A_j)
+//   a_ij  = sum_r popcount(V_i^r & V_j^r)
+//   c_ijk = popcount(A_i & A_j & A_k)
+// process 64 tasks per instruction, replacing the per-cell
+// std::optional scan the construction used to run (O(m^2 n) cell
+// probes -> O(m^2 (k+1) n/64) word ANDs).
+//
+// Once built, the index is immutable under evaluation: the estimators
+// only call the const accessors, which is what makes the worker-level
+// ParallelFor in the evaluation engines safe. ApplyResponse (the
+// incremental mode) is the only mutator and must not run concurrently
+// with evaluation.
 
 #ifndef CROWD_DATA_OVERLAP_INDEX_H_
 #define CROWD_DATA_OVERLAP_INDEX_H_
@@ -21,7 +33,7 @@
 
 namespace crowd::data {
 
-/// \brief Pairwise co-attempt and agreement counts, O(m^2 n) to build.
+/// \brief Pairwise co-attempt and agreement counts via bitset kernels.
 class OverlapIndex {
  public:
   explicit OverlapIndex(const ResponseMatrix& responses);
@@ -44,6 +56,13 @@ class OverlapIndex {
   /// c_ijk: number of tasks attempted by all three workers. O(n/64).
   size_t TripleCommonCount(WorkerId i, WorkerId j, WorkerId k) const;
 
+  /// Whether worker `w` attempted task `t` (O(1) bit probe).
+  bool Attempted(WorkerId w, TaskId t) const {
+    CROWD_DCHECK(w < num_workers_ && t < responses_.num_tasks());
+    return (attempt_bits_[w * words_per_worker_ + t / 64] >> (t % 64)) &
+           uint64_t{1};
+  }
+
   /// \brief Incrementally accounts for worker `w`'s response to task
   /// `t` having just been set in the underlying matrix (call *after*
   /// ResponseMatrix::Set). `previous` is the response the cell held
@@ -58,11 +77,29 @@ class OverlapIndex {
     return i * num_workers_ + j;
   }
 
+  uint64_t* AttemptBits(WorkerId w) {
+    return attempt_bits_.data() + w * words_per_worker_;
+  }
+  const uint64_t* AttemptBits(WorkerId w) const {
+    return attempt_bits_.data() + w * words_per_worker_;
+  }
+  /// The bitset of tasks worker `w` answered with value `r`.
+  uint64_t* ValueBits(WorkerId w, size_t r) {
+    return value_bits_.data() + (w * arity_ + r) * words_per_worker_;
+  }
+  const uint64_t* ValueBits(WorkerId w, size_t r) const {
+    return value_bits_.data() + (w * arity_ + r) * words_per_worker_;
+  }
+
   const ResponseMatrix& responses_;
   size_t num_workers_;
+  size_t arity_;
   size_t words_per_worker_;
   /// Per-worker attempt bitmask, concatenated.
   std::vector<uint64_t> attempt_bits_;
+  /// Per-(worker, response value) bitmask, concatenated; each attempt
+  /// bit is set in exactly one value plane.
+  std::vector<uint64_t> value_bits_;
   std::vector<size_t> pair_common_;
   std::vector<size_t> pair_agree_;
 };

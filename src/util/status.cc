@@ -28,6 +28,8 @@ std::string StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kNotFound:
       return "Not found";
+    case StatusCode::kFilteredOut:
+      return "Filtered out";
   }
   return "Unknown code";
 }

@@ -30,6 +30,10 @@ enum class StatusCode : int {
   kInternal = 5,
   /// Requested entity (worker id, task id, column) does not exist.
   kNotFound = 6,
+  /// The entity was deliberately excluded by a configured filter (e.g.
+  /// a worker removed by the spammer pre-filter) — not an error of the
+  /// computation itself, but reported so per-entity coverage is total.
+  kFilteredOut = 7,
 };
 
 /// \brief Human-readable name of a status code ("Invalid argument", ...).
@@ -65,6 +69,9 @@ class Status {
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
   }
+  static Status FilteredOut(std::string message) {
+    return Status(StatusCode::kFilteredOut, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -81,6 +88,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFilteredOut() const { return code() == StatusCode::kFilteredOut; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+#include <string>
+
+namespace crowd {
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t total = ResolveThreadCount(num_threads);
+  workers_.reserve(total - 1);
+  for (size_t i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Status ThreadPool::RunOne(const std::function<Status(size_t)>& fn,
+                          size_t i) {
+  try {
+    return fn(i);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [&] {
+        return shutting_down_ || job_generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = job_generation_;
+    }
+    RunCurrentJob();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_remaining_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunCurrentJob() {
+  const std::function<Status(size_t)>& fn = *job_fn_;
+  const size_t end = job_end_;
+  for (;;) {
+    size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) break;
+    Status st = RunOne(fn, i);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok() || i < first_error_index_) {
+        first_error_index_ = i;
+        first_error_ = std::move(st);
+      }
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end,
+                               const std::function<Status(size_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  if (workers_.empty()) {
+    // Serial path: same contract (all indices run, lowest-index error
+    // wins) without any synchronization.
+    Status first_error;
+    for (size_t i = begin; i < end; ++i) {
+      Status st = RunOne(fn, i);
+      if (!st.ok() && first_error.ok()) first_error = std::move(st);
+    }
+    return first_error;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_end_ = end;
+    job_next_.store(begin, std::memory_order_relaxed);
+    first_error_ = Status::OK();
+    first_error_index_ = end;
+    workers_remaining_ = workers_.size();
+    ++job_generation_;
+  }
+  job_ready_.notify_all();
+  RunCurrentJob();
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] { return workers_remaining_ == 0; });
+  job_fn_ = nullptr;
+  return first_error_;
+}
+
+}  // namespace crowd

@@ -60,6 +60,28 @@ TEST(Evaluator, SpammerFilterRemapsToOriginalIds) {
     EXPECT_NEAR(a.error_rate, 0.1, 0.08) << "worker " << a.worker;
   }
   EXPECT_EQ(report->assessments.size(), 8u);
+
+  // The pruned workers appear in `failures` with a FilteredOut status,
+  // so assessments ∪ failures is total over the input pool.
+  size_t filtered = 0;
+  std::vector<bool> covered(10, false);
+  for (const auto& a : report->assessments) covered[a.worker] = true;
+  for (const auto& [worker, status] : report->failures) {
+    EXPECT_FALSE(covered[worker]) << "worker " << worker
+                                  << " reported twice";
+    covered[worker] = true;
+    if (status.IsFilteredOut()) {
+      ++filtered;
+      EXPECT_TRUE(worker == 2u || worker == 6u) << "worker " << worker;
+    }
+  }
+  EXPECT_EQ(filtered, 2u);
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool c) { return c; }));
+  // Failures are sorted by worker id.
+  EXPECT_TRUE(std::is_sorted(
+      report->failures.begin(), report->failures.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
 }
 
 TEST(Evaluator, WithoutFilterMatchesMWorkerEvaluate) {

@@ -135,6 +135,76 @@ TEST(Incremental, MemoizationSkipsUntouchedWorkers) {
   EXPECT_EQ(incremental.DirtyWorkerCount(), 6u);
 }
 
+// Regression test for over-invalidation: a response to a task with no
+// other attempters must not invalidate workers that cannot observe any
+// changed statistic through their peers.
+TEST(Incremental, ResponseToUnsharedTaskOnlyDirtiesResponder) {
+  const size_t m = 3, n = 6;
+  IncrementalEvaluator incremental(m, n);
+  // Everyone answers tasks 0..3, so all pairs overlap.
+  for (data::TaskId t = 0; t < 4; ++t) {
+    for (data::WorkerId w = 0; w < m; ++w) {
+      ASSERT_TRUE(
+          incremental.AddResponse(w, t, (w + t) % 2 == 0 ? 1 : 0).ok());
+    }
+  }
+  incremental.EvaluateAll();
+  ASSERT_EQ(incremental.DirtyWorkerCount(), 0u);
+
+  // Worker 0 answers task 5, which nobody else attempted. Only the
+  // self-pair statistics of worker 0 change, so only worker 0's cache
+  // may be invalidated.
+  ASSERT_TRUE(incremental.AddResponse(0, 5, 1).ok());
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 1u);
+
+  // And the refreshed results still match a batch evaluation.
+  auto streaming = incremental.EvaluateAll();
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 0u);
+  auto batch = MWorkerEvaluate(incremental.responses(), BinaryOptions{});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(streaming.assessments.size(), batch->assessments.size());
+  for (size_t i = 0; i < streaming.assessments.size(); ++i) {
+    EXPECT_EQ(streaming.assessments[i].error_rate,
+              batch->assessments[i].error_rate);
+  }
+}
+
+// The counterpart: once a task IS shared, a response to it must dirty
+// every worker whose evaluation can read a changed pair statistic —
+// including workers that never attempted the task but have both
+// attempters as peers.
+TEST(Incremental, ResponseToSharedTaskDirtiesObservers) {
+  const size_t m = 3, n = 6;
+  IncrementalEvaluator incremental(m, n);
+  for (data::TaskId t = 0; t < 4; ++t) {
+    for (data::WorkerId w = 0; w < m; ++w) {
+      ASSERT_TRUE(
+          incremental.AddResponse(w, t, (w + t) % 2 == 0 ? 1 : 0).ok());
+    }
+  }
+  // Worker 1 alone attempts task 4: dirties only worker 1.
+  incremental.EvaluateAll();
+  ASSERT_TRUE(incremental.AddResponse(1, 4, 0).ok());
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 1u);
+  incremental.EvaluateAll();
+  ASSERT_EQ(incremental.DirtyWorkerCount(), 0u);
+
+  // Worker 0 then answers task 4 too: the pair (0, 1) changes, and
+  // worker 2 — who overlaps both — evaluates the triple (2, 0, 1)
+  // whose peer-pair statistic q_{0,1} just moved. All three are dirty.
+  ASSERT_TRUE(incremental.AddResponse(0, 4, 0).ok());
+  EXPECT_EQ(incremental.DirtyWorkerCount(), 3u);
+
+  auto streaming = incremental.EvaluateAll();
+  auto batch = MWorkerEvaluate(incremental.responses(), BinaryOptions{});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(streaming.assessments.size(), batch->assessments.size());
+  for (size_t i = 0; i < streaming.assessments.size(); ++i) {
+    EXPECT_EQ(streaming.assessments[i].error_rate,
+              batch->assessments[i].error_rate);
+  }
+}
+
 TEST(Incremental, RangeValidation) {
   IncrementalEvaluator incremental(2, 3);
   EXPECT_TRUE(incremental.AddResponse(2, 0, 0).IsInvalid());

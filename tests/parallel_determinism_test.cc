@@ -1,0 +1,198 @@
+// The parallel evaluation engine's core guarantee: num_threads changes
+// wall-clock, never results. Every entry point that fans out over the
+// thread pool must produce bit-identical assessments and identically
+// ordered failures for every thread count. This suite is also the
+// target of the TSan CI job — any data race in the worker fan-out
+// shows up here under -fsanitize=thread.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/incremental.h"
+#include "core/kary_m_worker.h"
+#include "core/m_worker.h"
+#include "rng/random.h"
+#include "sim/simulator.h"
+
+namespace crowd::core {
+namespace {
+
+// Exact (bitwise) equality of two binary evaluation results, including
+// the order and contents of the failure list.
+void ExpectIdentical(const MWorkerResult& a, const MWorkerResult& b,
+                     const char* label) {
+  ASSERT_EQ(a.assessments.size(), b.assessments.size()) << label;
+  ASSERT_EQ(a.failures.size(), b.failures.size()) << label;
+  for (size_t i = 0; i < a.assessments.size(); ++i) {
+    const WorkerAssessment& x = a.assessments[i];
+    const WorkerAssessment& y = b.assessments[i];
+    EXPECT_EQ(x.worker, y.worker) << label;
+    EXPECT_EQ(x.error_rate, y.error_rate) << label << " w" << x.worker;
+    EXPECT_EQ(x.deviation, y.deviation) << label << " w" << x.worker;
+    EXPECT_EQ(x.interval.lo, y.interval.lo) << label << " w" << x.worker;
+    EXPECT_EQ(x.interval.hi, y.interval.hi) << label << " w" << x.worker;
+    EXPECT_EQ(x.interval.confidence, y.interval.confidence) << label;
+    EXPECT_EQ(x.num_triples, y.num_triples) << label << " w" << x.worker;
+    EXPECT_EQ(x.any_clamped, y.any_clamped) << label << " w" << x.worker;
+  }
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].first, b.failures[i].first) << label;
+    EXPECT_EQ(a.failures[i].second.code(), b.failures[i].second.code())
+        << label;
+    EXPECT_EQ(a.failures[i].second.message(),
+              b.failures[i].second.message())
+        << label;
+  }
+}
+
+// A seeded non-regular pool with a guaranteed failure entry (worker 11
+// loses every response), so both output vectors are exercised.
+data::ResponseMatrix NonRegularMatrixWithFailure() {
+  Random rng(17);
+  sim::BinarySimConfig config;
+  config.num_workers = 12;
+  config.num_tasks = 150;
+  config.assignment = sim::AssignmentConfig::Iid(0.7);
+  auto sim = sim::SimulateBinary(config, &rng);
+  for (data::TaskId t = 0; t < config.num_tasks; ++t) {
+    sim.dataset.mutable_responses()->Clear(11, t);
+  }
+  return sim.dataset.responses();
+}
+
+TEST(ParallelDeterminism, MWorkerBitIdenticalAcrossThreadCounts) {
+  data::ResponseMatrix responses = NonRegularMatrixWithFailure();
+  BinaryOptions options;
+  options.num_threads = 1;
+  auto serial = MWorkerEvaluate(responses, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_FALSE(serial->assessments.empty());
+  ASSERT_FALSE(serial->failures.empty());  // Worker 11.
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    auto parallel = MWorkerEvaluate(responses, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectIdentical(*serial, *parallel,
+                    threads == 2 ? "threads=2" : "threads=8");
+  }
+}
+
+TEST(ParallelDeterminism, MWorkerAutoThreadsAlsoIdentical) {
+  data::ResponseMatrix responses = NonRegularMatrixWithFailure();
+  BinaryOptions options;
+  options.num_threads = 1;
+  auto serial = MWorkerEvaluate(responses, options);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 0;  // One thread per hardware core.
+  auto parallel = MWorkerEvaluate(responses, options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(*serial, *parallel, "threads=auto");
+}
+
+TEST(ParallelDeterminism, RandomPairingStaysSeededUnderThreads) {
+  // The kRandom pairing strategy derives its stream from the worker id,
+  // so it must stay deterministic under the fan-out too.
+  data::ResponseMatrix responses = NonRegularMatrixWithFailure();
+  BinaryOptions options;
+  options.pairing = PairingStrategy::kRandom;
+  options.pairing_seed = 99;
+  options.num_threads = 1;
+  auto serial = MWorkerEvaluate(responses, options);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 4;
+  auto parallel = MWorkerEvaluate(responses, options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(*serial, *parallel, "random pairing");
+}
+
+TEST(ParallelDeterminism, KaryAllWorkersMatchesSerial) {
+  Random rng(23);
+  sim::KarySimConfig config;
+  config.arity = 3;
+  config.num_workers = 6;
+  config.num_tasks = 400;
+  auto sim = sim::SimulateKary(config, &rng);
+  ASSERT_TRUE(sim.ok());
+  KaryMWorkerOptions options;
+  options.num_threads = 1;
+  KaryMWorkerResult serial =
+      KaryEvaluateAllWorkers(sim->dataset.responses(), options);
+  ASSERT_FALSE(serial.assessments.empty());
+  options.num_threads = 4;
+  KaryMWorkerResult parallel =
+      KaryEvaluateAllWorkers(sim->dataset.responses(), options);
+  ASSERT_EQ(serial.assessments.size(), parallel.assessments.size());
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (size_t i = 0; i < serial.assessments.size(); ++i) {
+    const KaryWorkerAssessment& x = serial.assessments[i];
+    const KaryWorkerAssessment& y = parallel.assessments[i];
+    EXPECT_EQ(x.worker, y.worker);
+    EXPECT_EQ(x.num_triples, y.num_triples);
+    for (int r = 0; r < config.arity; ++r) {
+      for (int c = 0; c < config.arity; ++c) {
+        EXPECT_EQ(x.p(r, c), y.p(r, c)) << "w" << x.worker;
+        EXPECT_EQ(x.intervals[r][c].lo, y.intervals[r][c].lo);
+        EXPECT_EQ(x.intervals[r][c].hi, y.intervals[r][c].hi);
+      }
+    }
+  }
+  for (size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].first, parallel.failures[i].first);
+    EXPECT_EQ(serial.failures[i].second.code(),
+              parallel.failures[i].second.code());
+  }
+}
+
+TEST(ParallelDeterminism, IncrementalEvaluateAllMatchesSerial) {
+  Random rng(29);
+  sim::BinarySimConfig config;
+  config.num_workers = 8;
+  config.num_tasks = 120;
+  config.assignment = sim::AssignmentConfig::Iid(0.75);
+  auto sim = sim::SimulateBinary(config, &rng);
+
+  BinaryOptions serial_options;
+  serial_options.num_threads = 1;
+  BinaryOptions parallel_options;
+  parallel_options.num_threads = 4;
+  IncrementalEvaluator serial(8, 120, serial_options);
+  IncrementalEvaluator parallel(8, 120, parallel_options);
+  for (data::TaskId t = 0; t < 120; ++t) {
+    for (data::WorkerId w = 0; w < 8; ++w) {
+      auto r = sim.dataset.responses().Get(w, t);
+      if (!r.has_value()) continue;
+      ASSERT_TRUE(serial.AddResponse(w, t, *r).ok());
+      ASSERT_TRUE(parallel.AddResponse(w, t, *r).ok());
+    }
+  }
+  MWorkerResult a = serial.EvaluateAll();
+  MWorkerResult b = parallel.EvaluateAll();
+  ExpectIdentical(a, b, "incremental");
+  EXPECT_EQ(serial.DirtyWorkerCount(), 0u);
+  EXPECT_EQ(parallel.DirtyWorkerCount(), 0u);
+  // Warm caches: a second parallel EvaluateAll reuses every entry and
+  // still matches.
+  MWorkerResult c = parallel.EvaluateAll();
+  ExpectIdentical(a, c, "incremental warm");
+}
+
+TEST(ParallelDeterminism, EvaluatorConfigThreadsPropagate) {
+  data::ResponseMatrix responses = NonRegularMatrixWithFailure();
+  CrowdEvaluator::Config serial_config;
+  serial_config.num_threads = 1;
+  auto serial = CrowdEvaluator(serial_config).EvaluateBinary(responses);
+  ASSERT_TRUE(serial.ok());
+  CrowdEvaluator::Config parallel_config;
+  parallel_config.num_threads = 4;
+  auto parallel =
+      CrowdEvaluator(parallel_config).EvaluateBinary(responses);
+  ASSERT_TRUE(parallel.ok());
+  MWorkerResult a{serial->assessments, serial->failures};
+  MWorkerResult b{parallel->assessments, parallel->failures};
+  ExpectIdentical(a, b, "facade");
+}
+
+}  // namespace
+}  // namespace crowd::core

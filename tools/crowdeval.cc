@@ -3,9 +3,12 @@
 //   crowdeval evaluate   --responses=R.csv [--gold=G.csv]
 //                        [--confidence=0.95] [--prune-spammers]
 //                        [--uniform-weights] [--clamp-singularities]
+//                        [--threads=N]
 //       Binary worker evaluation (Algorithm A2). Prints one line per
 //       worker: point estimate, confidence interval, triples used; and
 //       when gold labels are given, the gold-proxy error for reference.
+//       --threads=N evaluates workers on N threads (0 = one per core;
+//       default 1); the output is identical for every thread count.
 //
 //   crowdeval evaluate-kary --responses=R.csv --workers=a,b,c
 //                        [--gold=G.csv] [--confidence=0.95]
@@ -43,6 +46,7 @@ struct Args {
   bool prune_spammers = false;
   bool uniform_weights = false;
   bool clamp_singularities = false;
+  size_t threads = 1;
   std::vector<size_t> workers;
 };
 
@@ -65,6 +69,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (StartsWith(arg, "--threshold=")) {
       CROWD_ASSIGN_OR_RETURN(args.threshold,
                              ParseDouble(value_of("--threshold=")));
+    } else if (StartsWith(arg, "--threads=")) {
+      CROWD_ASSIGN_OR_RETURN(long long threads,
+                             ParseInt(value_of("--threads=")));
+      if (threads < 0) return Status::Invalid("negative thread count");
+      args.threads = static_cast<size_t>(threads);
     } else if (arg == "--prune-spammers") {
       args.prune_spammers = true;
     } else if (arg == "--uniform-weights") {
@@ -99,6 +108,7 @@ int RunEvaluate(const Args& args) {
   config.binary.confidence = args.confidence;
   config.prefilter_spammers = args.prune_spammers;
   config.spammer.threshold = args.threshold;
+  config.num_threads = args.threads;
   if (args.uniform_weights) {
     config.binary.weights = core::WeightScheme::kUniform;
   }
@@ -133,8 +143,9 @@ int RunEvaluate(const Args& args) {
                 a.num_triples, proxy_text.c_str());
   }
   for (const auto& [worker, status] : report->failures) {
-    std::printf("w%-7zu unevaluable: %s\n", worker,
-                status.ToString().c_str());
+    std::printf("w%-7zu %s: %s\n", worker,
+                status.IsFilteredOut() ? "pruned" : "unevaluable",
+                status.message().c_str());
   }
   return 0;
 }
