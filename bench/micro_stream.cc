@@ -1,0 +1,143 @@
+// Sustained ingest throughput and evaluation latency of the crowdevald
+// serving layer, measured against the in-process Service (no sockets),
+// so the numbers isolate the evaluator + journal cost from network
+// overhead.
+//
+// Three configurations are timed on the same random response stream:
+//   memory    -- no data dir: pure evaluator cost
+//   journal   -- write-ahead journal, no fsync (the daemon's default)
+//   compact   -- journal + automatic snapshot/compaction every 10k
+// For each: sustained RESP throughput, then the latency distribution
+// (p50/p99) of single-worker EVAL calls interleaved 1:50 with writes,
+// and the latency of full EVAL_ALL passes after write bursts.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rng/random.h"
+#include "server/service.h"
+#include "util/stopwatch.h"
+
+namespace crowd {
+namespace {
+
+constexpr size_t kWorkers = 50;
+constexpr size_t kTasks = 2000;
+constexpr size_t kStreamResponses = 50000;
+constexpr size_t kEvalEvery = 50;  // one EVAL per 50 RESP
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Percentiles Summarize(std::vector<double>* micros) {
+  Percentiles out;
+  if (micros->empty()) return out;
+  std::sort(micros->begin(), micros->end());
+  out.p50 = (*micros)[micros->size() / 2];
+  out.p99 = (*micros)[micros->size() * 99 / 100];
+  out.max = micros->back();
+  return out;
+}
+
+struct Config {
+  const char* name;
+  bool durable;
+  uint64_t snapshot_every;
+};
+
+int RunConfig(const Config& config) {
+  server::ServiceOptions options;
+  options.num_workers = kWorkers;
+  options.num_tasks = kTasks;
+  if (config.durable) {
+    options.data_dir =
+        "/tmp/crowd_micro_stream_" + std::string(config.name);
+    std::remove((options.data_dir + "/journal.crwj").c_str());
+  }
+  options.snapshot_every = config.snapshot_every;
+  auto service = server::Service::Open(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "open(%s): %s\n", config.name,
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  // Phase 1: sustained ingest, interleaved with single-worker EVALs.
+  Random rng(7);
+  std::vector<double> eval_micros;
+  eval_micros.reserve(kStreamResponses / kEvalEvery);
+  Stopwatch total;
+  double ingest_seconds = 0.0;
+  for (size_t i = 0; i < kStreamResponses; ++i) {
+    auto w = static_cast<data::WorkerId>(rng.UniformInt(kWorkers));
+    auto t = static_cast<data::TaskId>(rng.UniformInt(kTasks));
+    auto v = static_cast<data::Response>(rng.UniformInt(2));
+    Stopwatch one;
+    Status st = (*service)->Ingest(w, t, v);
+    ingest_seconds += one.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if ((i + 1) % kEvalEvery == 0) {
+      Stopwatch eval;
+      (void)(*service)->Evaluate(w);
+      eval_micros.push_back(eval.ElapsedSeconds() * 1e6);
+    }
+  }
+  const double wall = total.ElapsedSeconds();
+  Percentiles eval = Summarize(&eval_micros);
+
+  // Phase 2: EVAL_ALL latency after write bursts of growing staleness.
+  std::vector<double> eval_all_micros;
+  for (size_t burst = 0; burst < 20; ++burst) {
+    for (size_t i = 0; i < 500; ++i) {
+      auto w = static_cast<data::WorkerId>(rng.UniformInt(kWorkers));
+      auto t = static_cast<data::TaskId>(rng.UniformInt(kTasks));
+      auto v = static_cast<data::Response>(rng.UniformInt(2));
+      (void)(*service)->Ingest(w, t, v);
+    }
+    Stopwatch eval_all;
+    (void)(*service)->EvaluateAll();
+    eval_all_micros.push_back(eval_all.ElapsedSeconds() * 1e6);
+  }
+  Percentiles eval_all = Summarize(&eval_all_micros);
+
+  server::ServiceStats stats = (*service)->stats();
+  std::printf(
+      "%-8s ingest %8.0f resp/s (%5.2f us/resp)  "
+      "EVAL p50 %7.1f us p99 %8.1f us  "
+      "EVAL_ALL p50 %9.1f us p99 %9.1f us  snapshots %llu\n",
+      config.name, static_cast<double>(kStreamResponses) / wall,
+      ingest_seconds / static_cast<double>(kStreamResponses) * 1e6,
+      eval.p50, eval.p99, eval_all.p50, eval_all.p99,
+      static_cast<unsigned long long>(stats.snapshots_written));
+  std::fflush(stdout);
+  return 0;
+}
+
+int Main() {
+  std::printf("streaming service: %zu workers x %zu tasks, %zu-response "
+              "stream, 1 EVAL per %zu writes\n",
+              kWorkers, kTasks, kStreamResponses, kEvalEvery);
+  const Config configs[] = {
+      {"memory", false, 0},
+      {"journal", true, 0},
+      {"compact", true, 10000},
+  };
+  for (const Config& config : configs) {
+    int rc = RunConfig(config);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowd
+
+int main() { return crowd::Main(); }

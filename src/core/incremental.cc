@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace crowd::core {
@@ -18,8 +19,24 @@ IncrementalEvaluator::IncrementalEvaluator(size_t num_workers,
 
 Status IncrementalEvaluator::AddResponse(data::WorkerId w, data::TaskId t,
                                          data::Response response) {
-  if (w >= responses_.num_workers() || t >= responses_.num_tasks()) {
-    return Status::Invalid("AddResponse: index out of range");
+  // The daemon feeds this untrusted input; every argument is checked
+  // here (not just in CROWD_DCHECK-guarded accessors) and the message
+  // names the offending value so clients can act on the error.
+  if (w >= responses_.num_workers()) {
+    return Status::Invalid(StrFormat(
+        "AddResponse: worker id %zu out of range [0, %zu)", w,
+        responses_.num_workers()));
+  }
+  if (t >= responses_.num_tasks()) {
+    return Status::Invalid(
+        StrFormat("AddResponse: task id %zu out of range [0, %zu)", t,
+                  responses_.num_tasks()));
+  }
+  if (response < 0 || response >= responses_.arity()) {
+    return Status::Invalid(StrFormat(
+        "AddResponse: response %d for worker %zu, task %zu outside "
+        "[0, %d)",
+        response, w, t, responses_.arity()));
   }
   std::optional<data::Response> previous = responses_.Get(w, t);
   if (previous.has_value() && *previous == response) return Status::OK();

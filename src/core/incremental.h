@@ -40,7 +40,10 @@ class IncrementalEvaluator {
   IncrementalEvaluator& operator=(const IncrementalEvaluator&) = delete;
 
   /// Records worker `w`'s response to task `t` (overwriting any
-  /// previous response). O(m).
+  /// previous response). O(m). Untrusted input is fully validated
+  /// before any state changes: an out-of-range worker/task id or a
+  /// response outside [0, arity) returns Status::Invalid naming the
+  /// offending value, and the evaluator is left untouched.
   Status AddResponse(data::WorkerId w, data::TaskId t,
                      data::Response response);
 
@@ -64,6 +67,13 @@ class IncrementalEvaluator {
 
   /// \brief Workers whose cached assessment is stale (or missing).
   size_t DirtyWorkerCount() const;
+
+  /// \brief Whether `worker`'s memoized assessment is fresh, i.e. a
+  /// subsequent Evaluate would be a pure cache hit. False for
+  /// out-of-range ids.
+  bool IsCached(data::WorkerId worker) const {
+    return worker < cache_.size() && !IsStale(worker);
+  }
 
  private:
   void MarkTaskDirty(data::TaskId t, data::WorkerId responder);

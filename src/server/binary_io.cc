@@ -1,0 +1,179 @@
+#include "server/binary_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IoError(
+      StrFormat("%s(%s): %s", op, path.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Table-less bitwise CRC-32 (reflected 0xEDB88320). The durability
+  // payloads are tens of bytes per record, so simplicity beats a
+  // 1 KiB table here.
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+File::~File() { Close(); }
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<File> File::OpenAppend(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  return File(fd, path);
+}
+
+Result<File> File::OpenRead(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  return File(fd, path);
+}
+
+Result<File> File::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  return File(fd, path);
+}
+
+Status File::WriteAll(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> File::ReadAt(uint64_t offset, void* out, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(out);
+  size_t total = 0;
+  while (total < size) {
+    ssize_t n = ::pread(fd_, p + total, size - total,
+                        static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path_);
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<size_t>(n);
+  }
+  return total;
+}
+
+Result<uint64_t> File::Size() const {
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Errno("lseek", path_);
+  return static_cast<uint64_t>(end);
+}
+
+Status File::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+void File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  CROWD_ASSIGN_OR_RETURN(File file, File::OpenRead(path));
+  CROWD_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  CROWD_ASSIGN_OR_RETURN(size_t read,
+                         file.ReadAt(0, bytes.data(), bytes.size()));
+  bytes.resize(read);
+  return bytes;
+}
+
+Status SyncDirectoryOf(const std::string& path) {
+  const std::string dir = [&path] {
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return std::string(".");
+    if (slash == 0) return std::string("/");
+    return path.substr(0, slash);
+  }();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", dir);
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) st = Errno("fsync", dir);
+  ::close(fd);
+  return st;
+}
+
+}  // namespace crowd::server

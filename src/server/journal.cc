@@ -1,0 +1,121 @@
+#include "server/journal.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4A575243u;  // "CRWJ" little-endian
+constexpr uint32_t kVersion = 1;
+
+std::vector<uint8_t> EncodeHeader(const JournalHeader& header) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(Journal::kHeaderBytes);
+  PutU32(&bytes, kMagic);
+  PutU32(&bytes, kVersion);
+  PutU32(&bytes, header.num_workers);
+  PutU32(&bytes, header.num_tasks);
+  PutU32(&bytes, header.arity);
+  PutU32(&bytes, 0);  // reserved
+  PutU64(&bytes, header.base_seq);
+  return bytes;
+}
+
+std::vector<uint8_t> EncodeRecord(const JournalRecord& record) {
+  std::vector<uint8_t> payload;
+  payload.reserve(Journal::kRecordBytes - 4);
+  PutU64(&payload, record.seq);
+  PutU32(&payload, static_cast<uint32_t>(record.worker));
+  PutU32(&payload, static_cast<uint32_t>(record.task));
+  PutU32(&payload, static_cast<uint32_t>(record.value));
+  std::vector<uint8_t> bytes;
+  bytes.reserve(Journal::kRecordBytes);
+  PutU32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+}  // namespace
+
+Result<Journal> Journal::Create(const std::string& path,
+                                const JournalHeader& header) {
+  CROWD_ASSIGN_OR_RETURN(File file, File::Create(path));
+  std::vector<uint8_t> bytes = EncodeHeader(header);
+  CROWD_RETURN_NOT_OK(file.WriteAll(bytes.data(), bytes.size()));
+  CROWD_RETURN_NOT_OK(file.Sync());
+  CROWD_RETURN_NOT_OK(SyncDirectoryOf(path));
+  return Journal(std::move(file), header, header.base_seq, kHeaderBytes);
+}
+
+Result<JournalRecovered> Journal::Open(const std::string& path) {
+  CROWD_ASSIGN_OR_RETURN(File file, File::OpenAppend(path));
+  CROWD_ASSIGN_OR_RETURN(uint64_t size, file.Size());
+  uint8_t head[kHeaderBytes];
+  CROWD_ASSIGN_OR_RETURN(size_t head_read,
+                         file.ReadAt(0, head, kHeaderBytes));
+  if (head_read < kHeaderBytes || GetU32(head) != kMagic) {
+    return Status::IoError("journal " + path +
+                           ": missing or corrupt header");
+  }
+  if (GetU32(head + 4) != kVersion) {
+    return Status::IoError(StrFormat("journal %s: unsupported version %u",
+                                     path.c_str(), GetU32(head + 4)));
+  }
+  JournalHeader header;
+  header.num_workers = GetU32(head + 8);
+  header.num_tasks = GetU32(head + 12);
+  header.arity = GetU32(head + 16);
+  header.base_seq = GetU64(head + 24);
+
+  // Replay: each record must decode, checksum, and carry the next
+  // expected seq. The first violation is treated as a torn tail and
+  // everything from that offset on is discarded.
+  JournalRecovered out{Journal(std::move(file), header, header.base_seq,
+                        kHeaderBytes),
+                header,
+                {},
+                0};
+  Journal& journal = out.journal;
+  uint64_t offset = kHeaderBytes;
+  uint8_t rec[kRecordBytes];
+  while (offset + kRecordBytes <= size) {
+    CROWD_ASSIGN_OR_RETURN(size_t n,
+                           journal.file_.ReadAt(offset, rec, kRecordBytes));
+    if (n < kRecordBytes) break;
+    if (GetU32(rec) != Crc32(rec + 4, kRecordBytes - 4)) break;
+    JournalRecord record;
+    record.seq = GetU64(rec + 4);
+    record.worker = GetU32(rec + 12);
+    record.task = GetU32(rec + 16);
+    record.value = static_cast<data::Response>(GetU32(rec + 20));
+    if (record.seq != journal.last_seq_ + 1) break;
+    out.records.push_back(record);
+    journal.last_seq_ = record.seq;
+    offset += kRecordBytes;
+  }
+  if (offset < size) {
+    out.truncated_bytes = size - offset;
+    CROWD_RETURN_NOT_OK(journal.file_.Truncate(offset));
+  }
+  journal.file_bytes_ = offset;
+  return out;
+}
+
+Status Journal::Append(const JournalRecord& record) {
+  if (record.seq != next_seq()) {
+    return Status::Internal(StrFormat(
+        "journal append out of order: seq %llu, expected %llu",
+        static_cast<unsigned long long>(record.seq),
+        static_cast<unsigned long long>(next_seq())));
+  }
+  std::vector<uint8_t> bytes = EncodeRecord(record);
+  CROWD_RETURN_NOT_OK(file_.WriteAll(bytes.data(), bytes.size()));
+  last_seq_ = record.seq;
+  file_bytes_ += bytes.size();
+  return Status::OK();
+}
+
+}  // namespace crowd::server

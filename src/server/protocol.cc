@@ -1,0 +1,216 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+/// Splits on runs of spaces/tabs, dropping empty tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<size_t> ParseId(std::string_view token, const char* what) {
+  auto value = ParseInt(token);
+  if (!value.ok() || *value < 0) {
+    return Status::Invalid(StrFormat("%s must be a non-negative integer, "
+                                     "got \"%.*s\"",
+                                     what, static_cast<int>(token.size()),
+                                     token.data()));
+  }
+  return static_cast<size_t>(*value);
+}
+
+Status WrongArity(const char* command, size_t want, size_t got) {
+  return Status::Invalid(StrFormat("%s takes %zu argument(s), got %zu",
+                                   command, want, got));
+}
+
+}  // namespace
+
+Result<Command> ParseCommand(std::string_view line) {
+  // Tolerate a trailing '\r' from netcat/telnet-style clients.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::Invalid("empty command");
+  std::string_view verb = tokens[0];
+  const size_t argc = tokens.size() - 1;
+  Command cmd;
+  if (verb == "RESP") {
+    if (argc != 3) return WrongArity("RESP", 3, argc);
+    cmd.type = CommandType::kResp;
+    CROWD_ASSIGN_OR_RETURN(cmd.worker, ParseId(tokens[1], "worker id"));
+    CROWD_ASSIGN_OR_RETURN(cmd.task, ParseId(tokens[2], "task id"));
+    CROWD_ASSIGN_OR_RETURN(size_t value, ParseId(tokens[3], "response"));
+    cmd.value = static_cast<data::Response>(value);
+    return cmd;
+  }
+  if (verb == "EVAL") {
+    if (argc != 1) return WrongArity("EVAL", 1, argc);
+    cmd.type = CommandType::kEval;
+    CROWD_ASSIGN_OR_RETURN(cmd.worker, ParseId(tokens[1], "worker id"));
+    return cmd;
+  }
+  struct Nullary {
+    std::string_view verb;
+    CommandType type;
+  };
+  static constexpr Nullary kNullary[] = {
+      {"EVAL_ALL", CommandType::kEvalAll},
+      {"SPAMMERS", CommandType::kSpammers},
+      {"STATS", CommandType::kStats},
+      {"SNAPSHOT", CommandType::kSnapshot},
+      {"QUIT", CommandType::kQuit},
+  };
+  for (const Nullary& n : kNullary) {
+    if (verb == n.verb) {
+      if (argc != 0) return WrongArity(std::string(n.verb).c_str(), 0, argc);
+      cmd.type = n.type;
+      return cmd;
+    }
+  }
+  return Status::Invalid("unknown command: " + std::string(verb));
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // %.17g is the shortest printf precision that round-trips every
+  // finite double; non-finite values have no JSON literal, so they are
+  // emitted as null.
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+std::string AssessmentJson(const core::WorkerAssessment& a) {
+  return StrFormat(
+      "{\"worker\":%zu,\"error_rate\":%s,\"deviation\":%s,"
+      "\"interval\":{\"lo\":%s,\"hi\":%s,\"confidence\":%s},"
+      "\"num_triples\":%zu,\"any_clamped\":%s}",
+      a.worker, JsonDouble(a.error_rate).c_str(),
+      JsonDouble(a.deviation).c_str(), JsonDouble(a.interval.lo).c_str(),
+      JsonDouble(a.interval.hi).c_str(),
+      JsonDouble(a.interval.confidence).c_str(), a.num_triples,
+      a.any_clamped ? "true" : "false");
+}
+
+std::string FailureJson(data::WorkerId worker, const Status& status) {
+  return StrFormat("{\"worker\":%zu,\"code\":\"%s\",\"error\":\"%s\"}",
+                   worker,
+                   JsonEscape(StatusCodeToString(status.code())).c_str(),
+                   JsonEscape(status.message()).c_str());
+}
+
+std::string MWorkerResultBodyJson(const core::MWorkerResult& result) {
+  std::vector<std::string> assessments;
+  assessments.reserve(result.assessments.size());
+  for (const auto& a : result.assessments) {
+    assessments.push_back(AssessmentJson(a));
+  }
+  std::vector<std::string> failures;
+  failures.reserve(result.failures.size());
+  for (const auto& [worker, status] : result.failures) {
+    failures.push_back(FailureJson(worker, status));
+  }
+  return "\"assessments\":[" + Join(assessments, ",") +
+         "],\"failures\":[" + Join(failures, ",") + "]";
+}
+
+std::string BinaryReportJson(
+    const core::CrowdEvaluator::BinaryReport& report) {
+  core::MWorkerResult body;
+  body.assessments = report.assessments;
+  body.failures = report.failures;
+  std::vector<std::string> spammers;
+  spammers.reserve(report.removed_spammers.size());
+  for (data::WorkerId w : report.removed_spammers) {
+    spammers.push_back(StrFormat("%zu", w));
+  }
+  return "{\"ok\":true," + MWorkerResultBodyJson(body) +
+         ",\"removed_spammers\":[" + Join(spammers, ",") + "]}";
+}
+
+std::string KaryResultJson(const core::KaryResult& result,
+                           const std::vector<data::WorkerId>& workers) {
+  auto matrix_json = [](const linalg::Matrix& m) {
+    std::vector<std::string> rows;
+    rows.reserve(m.rows());
+    for (size_t i = 0; i < m.rows(); ++i) {
+      std::vector<std::string> cols;
+      cols.reserve(m.cols());
+      for (size_t j = 0; j < m.cols(); ++j) {
+        cols.push_back(JsonDouble(m(i, j)));
+      }
+      rows.push_back("[" + Join(cols, ",") + "]");
+    }
+    return "[" + Join(rows, ",") + "]";
+  };
+  std::vector<std::string> worker_docs;
+  for (size_t idx = 0; idx < result.workers.size(); ++idx) {
+    const core::KaryWorkerEstimate& est = result.workers[idx];
+    std::vector<std::string> interval_rows;
+    interval_rows.reserve(est.intervals.size());
+    for (const auto& row : est.intervals) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const auto& ci : row) {
+        cells.push_back(StrFormat(
+            "{\"lo\":%s,\"hi\":%s,\"confidence\":%s}",
+            JsonDouble(ci.lo).c_str(), JsonDouble(ci.hi).c_str(),
+            JsonDouble(ci.confidence).c_str()));
+      }
+      interval_rows.push_back("[" + Join(cells, ",") + "]");
+    }
+    worker_docs.push_back(StrFormat(
+        "{\"worker\":%zu,\"p\":%s,\"intervals\":[%s]}",
+        idx < workers.size() ? workers[idx] : idx,
+        matrix_json(est.p).c_str(), Join(interval_rows, ",").c_str()));
+  }
+  std::vector<std::string> selectivity;
+  selectivity.reserve(result.selectivity.size());
+  for (double s : result.selectivity) selectivity.push_back(JsonDouble(s));
+  return StrFormat(
+      "{\"ok\":true,\"workers\":[%s],\"selectivity\":[%s],"
+      "\"rotations_used\":%d}",
+      Join(worker_docs, ",").c_str(), Join(selectivity, ",").c_str(),
+      result.rotations_used);
+}
+
+std::string ErrorJson(const Status& status) {
+  return StrFormat("{\"ok\":false,\"code\":\"%s\",\"error\":\"%s\"}",
+                   JsonEscape(StatusCodeToString(status.code())).c_str(),
+                   JsonEscape(status.message()).c_str());
+}
+
+}  // namespace crowd::server

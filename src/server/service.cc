@@ -1,0 +1,403 @@
+#include "server/service.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "server/snapshot.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.crwj";
+
+std::string JournalPath(const std::string& dir) {
+  return dir + "/" + kJournalFile;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Service>> Service::Open(ServiceOptions options) {
+  std::unique_ptr<Service> service(new Service(std::move(options)));
+  CROWD_RETURN_NOT_OK(service->Recover());
+  return service;
+}
+
+Status Service::Recover() {
+  namespace fs = std::filesystem;
+  const std::string& dir = options_.data_dir;
+
+  std::optional<SnapshotData> snapshot;
+  std::vector<JournalRecord> tail;
+  std::optional<JournalHeader> journal_header;
+  if (!dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("create_directories(" + dir +
+                             "): " + ec.message());
+    }
+    // Sweep *.tmp files left by a crash mid-snapshot or mid-compaction;
+    // they were never renamed into place, so they are not part of the
+    // durable state.
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".tmp") {
+        std::error_code remove_ec;
+        fs::remove(entry.path(), remove_ec);
+      }
+    }
+    CROWD_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs,
+                           ListSnapshotSeqs(dir));
+    for (uint64_t seq : seqs) {
+      auto loaded = LoadSnapshot(SnapshotPath(dir, seq));
+      if (loaded.ok()) {
+        snapshot = std::move(*loaded);
+        break;
+      }
+      CROWD_LOG_WARNING << "ignoring unreadable snapshot: "
+                        << loaded.status();
+    }
+    if (fs::exists(JournalPath(dir))) {
+      CROWD_ASSIGN_OR_RETURN(JournalRecovered recovered,
+                             Journal::Open(JournalPath(dir)));
+      journal_header = recovered.header;
+      tail = std::move(recovered.records);
+      stats_.recovery_truncated_bytes = recovered.truncated_bytes;
+      if (recovered.truncated_bytes > 0) {
+        CROWD_LOG_WARNING << "journal: dropped torn tail of "
+                          << recovered.truncated_bytes << " bytes";
+      }
+      journal_.emplace(std::move(recovered.journal));
+    }
+  }
+
+  // Resolve the worker/task universe: on-disk metadata wins; explicit
+  // options must agree with it.
+  size_t num_workers = options_.num_workers;
+  size_t num_tasks = options_.num_tasks;
+  uint32_t disk_workers = 0, disk_tasks = 0, disk_arity = 0;
+  if (journal_header.has_value()) {
+    disk_workers = journal_header->num_workers;
+    disk_tasks = journal_header->num_tasks;
+    disk_arity = journal_header->arity;
+  }
+  if (snapshot.has_value()) {
+    if (journal_header.has_value() &&
+        (snapshot->num_workers != disk_workers ||
+         snapshot->num_tasks != disk_tasks ||
+         snapshot->arity != disk_arity)) {
+      return Status::IoError(
+          "snapshot and journal disagree on the worker/task universe");
+    }
+    disk_workers = snapshot->num_workers;
+    disk_tasks = snapshot->num_tasks;
+    disk_arity = snapshot->arity;
+  }
+  if (disk_workers != 0 || disk_tasks != 0) {
+    if ((num_workers != 0 && num_workers != disk_workers) ||
+        (num_tasks != 0 && num_tasks != disk_tasks)) {
+      return Status::Invalid(StrFormat(
+          "configured universe %zux%zu conflicts with recovered "
+          "state %ux%u",
+          num_workers, num_tasks, disk_workers, disk_tasks));
+    }
+    if (disk_arity != 2) {
+      return Status::Invalid(
+          StrFormat("recovered state has arity %u; the streaming "
+                    "service evaluates binary tasks only",
+                    disk_arity));
+    }
+    num_workers = disk_workers;
+    num_tasks = disk_tasks;
+  }
+  if (num_workers == 0 || num_tasks == 0) {
+    return Status::Invalid(
+        "num_workers and num_tasks are required for a fresh service");
+  }
+
+  evaluator_ = std::make_unique<core::IncrementalEvaluator>(
+      num_workers, num_tasks, options_.binary);
+
+  // 1. Snapshot image.
+  if (snapshot.has_value()) {
+    CROWD_ASSIGN_OR_RETURN(data::ResponseMatrix matrix,
+                           snapshot->ToMatrix());
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (data::TaskId t = 0; t < num_tasks; ++t) {
+        auto r = matrix.Get(w, t);
+        if (!r.has_value()) continue;
+        CROWD_RETURN_NOT_OK(
+            evaluator_->AddResponse(w, t, *r).WithContext(
+                "replaying snapshot"));
+      }
+    }
+    last_seq_ = snapshot->applied_seq;
+    stats_.snapshot_seq = snapshot->applied_seq;
+  }
+
+  // 2. Journal tail. Records at or below the snapshot's seq are
+  // already part of the image (a crash between snapshot write and
+  // journal compaction leaves such records behind — harmless).
+  if (journal_.has_value()) {
+    if (journal_->header().base_seq > last_seq_) {
+      return Status::IoError(StrFormat(
+          "journal starts at seq %llu but recovered snapshot covers "
+          "only seq %llu — snapshot missing or deleted",
+          static_cast<unsigned long long>(journal_->header().base_seq),
+          static_cast<unsigned long long>(last_seq_)));
+    }
+    for (const JournalRecord& record : tail) {
+      if (record.seq <= last_seq_) continue;
+      bool changed = false;
+      CROWD_RETURN_NOT_OK(
+          Apply(record.worker, record.task, record.value, &changed)
+              .WithContext(StrFormat(
+                  "replaying journal seq %llu",
+                  static_cast<unsigned long long>(record.seq))));
+      last_seq_ = record.seq;
+      ++stats_.recovered_records;
+    }
+    stats_.journal_bytes = journal_->file_bytes();
+    stats_.journal_records = journal_->record_count();
+  } else if (!dir.empty()) {
+    // Fresh directory (or snapshot without a journal): start a new
+    // journal continuing at the recovered seq.
+    JournalHeader header;
+    header.num_workers = static_cast<uint32_t>(num_workers);
+    header.num_tasks = static_cast<uint32_t>(num_tasks);
+    header.arity = 2;
+    header.base_seq = last_seq_;
+    CROWD_ASSIGN_OR_RETURN(Journal journal,
+                           Journal::Create(JournalPath(dir), header));
+    journal_.emplace(std::move(journal));
+    stats_.journal_bytes = journal_->file_bytes();
+  }
+  return Status::OK();
+}
+
+Status Service::Apply(data::WorkerId worker, data::TaskId task,
+                      data::Response value, bool* changed) {
+  const data::ResponseMatrix& matrix = evaluator_->responses();
+  *changed = false;
+  if (worker < matrix.num_workers() && task < matrix.num_tasks()) {
+    std::optional<data::Response> previous = matrix.Get(worker, task);
+    *changed = !(previous.has_value() && *previous == value);
+  }
+  Status st = evaluator_->AddResponse(worker, task, value);
+  if (!st.ok()) *changed = false;
+  return st;
+}
+
+Status Service::Ingest(data::WorkerId worker, data::TaskId task,
+                       data::Response value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool changed = false;
+  Status st = Apply(worker, task, value, &changed);
+  if (!st.ok()) {
+    ++stats_.responses_rejected;
+    return st;
+  }
+  if (!changed) {
+    ++stats_.responses_noop;
+    return Status::OK();
+  }
+  const uint64_t seq = last_seq_ + 1;
+  if (journal_.has_value()) {
+    JournalRecord record{seq, worker, task, value};
+    CROWD_RETURN_NOT_OK(journal_->Append(record));
+    if (options_.fsync_each_append) {
+      CROWD_RETURN_NOT_OK(journal_->Sync());
+    }
+    stats_.journal_bytes = journal_->file_bytes();
+    stats_.journal_records = journal_->record_count();
+  }
+  last_seq_ = seq;
+  ++stats_.responses_ingested;
+  if (options_.snapshot_every > 0 && journal_.has_value() &&
+      last_seq_ - stats_.snapshot_seq >= options_.snapshot_every) {
+    auto snap = TakeSnapshotLocked();
+    if (!snap.ok()) {
+      // The response itself is durable in the journal; a failed
+      // background compaction must not fail the ingest.
+      CROWD_LOG_WARNING << "automatic snapshot failed: " << snap.status();
+    }
+  }
+  return Status::OK();
+}
+
+Result<core::WorkerAssessment> Service::Evaluate(data::WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool cached = evaluator_->IsCached(worker);
+  Stopwatch timer;
+  Result<core::WorkerAssessment> result = evaluator_->Evaluate(worker);
+  const double micros = timer.ElapsedSeconds() * 1e6;
+  if (cached) {
+    ++stats_.eval_cache_hits;
+  } else {
+    ++stats_.eval_cache_misses;
+  }
+  stats_.eval_micros_total += micros;
+  stats_.last_eval_micros = micros;
+  return result;
+}
+
+core::MWorkerResult Service::EvaluateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t dirty = evaluator_->DirtyWorkerCount();
+  stats_.eval_cache_misses += dirty;
+  stats_.eval_cache_hits += num_workers() - dirty;
+  Stopwatch timer;
+  core::MWorkerResult result = evaluator_->EvaluateAll();
+  const double micros = timer.ElapsedSeconds() * 1e6;
+  ++stats_.eval_all_runs;
+  stats_.eval_micros_total += micros;
+  stats_.last_eval_micros = micros;
+  return result;
+}
+
+Result<uint64_t> Service::TakeSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TakeSnapshotLocked();
+}
+
+Result<uint64_t> Service::TakeSnapshotLocked() {
+  if (options_.data_dir.empty()) {
+    return Status::Invalid("snapshots require a data directory");
+  }
+  CROWD_RETURN_NOT_OK(
+      WriteSnapshot(options_.data_dir, evaluator_->responses(), last_seq_)
+          .status());
+  // Compact: swap in an empty journal whose base is the snapshot seq.
+  // The snapshot is durable, so records at or below last_seq_ are
+  // redundant; a crash between the rename and the cleanup below only
+  // leaves extra (skipped-on-replay) files behind.
+  JournalHeader header;
+  header.num_workers = static_cast<uint32_t>(num_workers());
+  header.num_tasks = static_cast<uint32_t>(num_tasks());
+  header.arity = 2;
+  header.base_seq = last_seq_;
+  const std::string path = JournalPath(options_.data_dir);
+  const std::string tmp = path + ".tmp";
+  CROWD_ASSIGN_OR_RETURN(Journal compacted, Journal::Create(tmp, header));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path);
+  }
+  CROWD_RETURN_NOT_OK(SyncDirectoryOf(path));
+  journal_.emplace(std::move(compacted));
+  CROWD_RETURN_NOT_OK(
+      RemoveSnapshotsBefore(options_.data_dir, last_seq_));
+  stats_.snapshot_seq = last_seq_;
+  ++stats_.snapshots_written;
+  stats_.journal_bytes = journal_->file_bytes();
+  stats_.journal_records = 0;
+  return last_seq_;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t Service::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+std::string Service::ExecuteLine(std::string_view line, bool* quit) {
+  if (quit != nullptr) *quit = false;
+  Result<Command> cmd = ParseCommand(line);
+  if (!cmd.ok()) return ErrorJson(cmd.status());
+  return HandleCommand(*cmd, quit);
+}
+
+std::string Service::HandleCommand(const Command& cmd, bool* quit) {
+  switch (cmd.type) {
+    case CommandType::kResp: {
+      Status st = Ingest(cmd.worker, cmd.task, cmd.value);
+      if (!st.ok()) return ErrorJson(st);
+      return StrFormat("{\"ok\":true,\"seq\":%llu}",
+                       static_cast<unsigned long long>(last_seq()));
+    }
+    case CommandType::kEval: {
+      Result<core::WorkerAssessment> result = Evaluate(cmd.worker);
+      if (!result.ok()) return ErrorJson(result.status());
+      return "{\"ok\":true,\"assessment\":" + AssessmentJson(*result) +
+             "}";
+    }
+    case CommandType::kEvalAll: {
+      core::MWorkerResult result = EvaluateAll();
+      return "{\"ok\":true," + MWorkerResultBodyJson(result) + "}";
+    }
+    case CommandType::kSpammers: {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto filtered = core::FilterSpammers(evaluator_->responses(),
+                                           options_.spammer);
+      if (!filtered.ok()) return ErrorJson(filtered.status());
+      std::vector<std::string> docs;
+      docs.reserve(filtered->removed.size());
+      for (data::WorkerId w : filtered->removed) {
+        docs.push_back(StrFormat(
+            "{\"worker\":%zu,\"proxy_error\":%s}", w,
+            JsonDouble(filtered->proxy_error[w]).c_str()));
+      }
+      return StrFormat("{\"ok\":true,\"threshold\":%s,\"spammers\":[%s]}",
+                       JsonDouble(options_.spammer.threshold).c_str(),
+                       Join(docs, ",").c_str());
+    }
+    case CommandType::kStats: {
+      std::lock_guard<std::mutex> lock(mu_);
+      return StrFormat(
+          "{\"ok\":true,\"stats\":{"
+          "\"num_workers\":%zu,\"num_tasks\":%zu,"
+          "\"total_responses\":%zu,\"last_seq\":%llu,"
+          "\"dirty_workers\":%zu,"
+          "\"responses_ingested\":%llu,\"responses_noop\":%llu,"
+          "\"responses_rejected\":%llu,"
+          "\"eval_cache_hits\":%llu,\"eval_cache_misses\":%llu,"
+          "\"eval_all_runs\":%llu,"
+          "\"eval_micros_total\":%s,\"last_eval_micros\":%s,"
+          "\"journal_bytes\":%llu,\"journal_records\":%llu,"
+          "\"snapshots_written\":%llu,\"snapshot_seq\":%llu,"
+          "\"recovered_records\":%llu,"
+          "\"recovery_truncated_bytes\":%llu}}",
+          evaluator_->responses().num_workers(),
+          evaluator_->responses().num_tasks(),
+          evaluator_->TotalResponses(),
+          static_cast<unsigned long long>(last_seq_),
+          evaluator_->DirtyWorkerCount(),
+          static_cast<unsigned long long>(stats_.responses_ingested),
+          static_cast<unsigned long long>(stats_.responses_noop),
+          static_cast<unsigned long long>(stats_.responses_rejected),
+          static_cast<unsigned long long>(stats_.eval_cache_hits),
+          static_cast<unsigned long long>(stats_.eval_cache_misses),
+          static_cast<unsigned long long>(stats_.eval_all_runs),
+          JsonDouble(stats_.eval_micros_total).c_str(),
+          JsonDouble(stats_.last_eval_micros).c_str(),
+          static_cast<unsigned long long>(stats_.journal_bytes),
+          static_cast<unsigned long long>(stats_.journal_records),
+          static_cast<unsigned long long>(stats_.snapshots_written),
+          static_cast<unsigned long long>(stats_.snapshot_seq),
+          static_cast<unsigned long long>(stats_.recovered_records),
+          static_cast<unsigned long long>(
+              stats_.recovery_truncated_bytes));
+    }
+    case CommandType::kSnapshot: {
+      Result<uint64_t> seq = TakeSnapshot();
+      if (!seq.ok()) return ErrorJson(seq.status());
+      return StrFormat(
+          "{\"ok\":true,\"snapshot_seq\":%llu,\"journal_bytes\":%llu}",
+          static_cast<unsigned long long>(*seq),
+          static_cast<unsigned long long>(stats().journal_bytes));
+    }
+    case CommandType::kQuit:
+      if (quit != nullptr) *quit = true;
+      return "{\"ok\":true,\"bye\":true}";
+  }
+  return ErrorJson(Status::Internal("unhandled command"));
+}
+
+}  // namespace crowd::server

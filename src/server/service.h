@@ -1,0 +1,135 @@
+// The crowdevald serving layer: a thread-safe wrapper around
+// IncrementalEvaluator that executes protocol commands, journals every
+// accepted response before acknowledging it, snapshots + compacts on
+// demand (or every `snapshot_every` responses), and recovers its state
+// on startup from the latest valid snapshot plus the journal tail.
+//
+// Concurrency model: one mutex serializes all commands. RESP is O(m)
+// (a matrix store, an overlap update and dirty-epoch marking) so
+// concurrent writers from many connections batch naturally between
+// evaluations; EVAL_ALL then refreshes all accumulated-stale workers
+// in one pass, fanning out over the configured ThreadPool width. This
+// is exactly the memoization contract of IncrementalEvaluator, lifted
+// behind a socket.
+//
+// Durability: an acknowledged RESP has been write(2)ed to the journal
+// and survives SIGKILL of the daemon (OS page cache); set
+// `fsync_each_append` to also survive power loss at a heavy latency
+// cost. Recovery sequence (Service::Open with a data_dir):
+//   1. newest snapshot whose checksum validates -> response matrix,
+//   2. journal records with seq > snapshot.applied_seq replayed in
+//      order (a torn tail is truncated, never replayed),
+//   3. fresh journal/snapshot files created when the directory is new.
+
+#ifndef CROWD_SERVER_SERVICE_H_
+#define CROWD_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/incremental.h"
+#include "core/spammer_filter.h"
+#include "core/types.h"
+#include "server/journal.h"
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace crowd::server {
+
+/// \brief Service configuration.
+struct ServiceOptions {
+  /// Worker/task universe for a fresh service. When recovering from a
+  /// non-empty data_dir the on-disk dimensions win; non-zero values
+  /// here must then match them.
+  size_t num_workers = 0;
+  size_t num_tasks = 0;
+  /// Estimator options (confidence, weights, num_threads, ...).
+  core::BinaryOptions binary;
+  /// SPAMMERS command options.
+  core::SpammerFilterOptions spammer;
+  /// Durability directory; empty runs fully in memory (no journal, no
+  /// snapshots — SNAPSHOT becomes an error).
+  std::string data_dir;
+  /// Automatically snapshot + compact after this many accepted
+  /// responses since the last snapshot (0 = only on SNAPSHOT).
+  uint64_t snapshot_every = 0;
+  /// fsync the journal after every append (power-loss durability).
+  bool fsync_each_append = false;
+};
+
+/// \brief Monotonic counters exposed by the STATS command.
+struct ServiceStats {
+  uint64_t responses_ingested = 0;  ///< accepted RESP (incl. overwrites)
+  uint64_t responses_noop = 0;      ///< identical re-submissions
+  uint64_t responses_rejected = 0;  ///< out-of-range ids/values
+  uint64_t eval_cache_hits = 0;     ///< workers served from cache
+  uint64_t eval_cache_misses = 0;   ///< workers re-evaluated
+  uint64_t eval_all_runs = 0;
+  double eval_micros_total = 0.0;   ///< summed EVAL/EVAL_ALL latency
+  double last_eval_micros = 0.0;
+  uint64_t journal_bytes = 0;
+  uint64_t journal_records = 0;     ///< records in the current file
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_seq = 0;        ///< seq covered by latest snapshot
+  uint64_t recovered_records = 0;   ///< journal tail replayed at Open
+  uint64_t recovery_truncated_bytes = 0;  ///< torn tail dropped at Open
+};
+
+/// \brief The in-process assessment service (the daemon minus sockets).
+class Service {
+ public:
+  /// Opens the service: recovers from `options.data_dir` when it holds
+  /// state, otherwise starts fresh (creating the durability files when
+  /// a data_dir is configured).
+  static Result<std::unique_ptr<Service>> Open(ServiceOptions options);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// \brief Executes one protocol line and returns one JSON line
+  /// (without trailing newline). Never fails: errors become
+  /// `{"ok":false,...}` replies. Sets `*quit` when the command asks to
+  /// close the connection.
+  std::string ExecuteLine(std::string_view line, bool* quit = nullptr);
+
+  /// Typed entry points (used by tests and the bench harness; the
+  /// protocol handlers above are thin wrappers over these).
+  Status Ingest(data::WorkerId worker, data::TaskId task,
+                data::Response value);
+  Result<core::WorkerAssessment> Evaluate(data::WorkerId worker);
+  core::MWorkerResult EvaluateAll();
+  /// Writes a snapshot, compacts the journal behind it and deletes
+  /// superseded snapshots. Returns the covered seq.
+  Result<uint64_t> TakeSnapshot();
+
+  ServiceStats stats() const;
+  /// Seq of the last accepted response (0 before any).
+  uint64_t last_seq() const;
+  size_t num_workers() const { return evaluator_->responses().num_workers(); }
+  size_t num_tasks() const { return evaluator_->responses().num_tasks(); }
+
+ private:
+  explicit Service(ServiceOptions options) : options_(std::move(options)) {}
+
+  Status Recover();
+  /// Ingest without journaling — used for journal replay.
+  Status Apply(data::WorkerId worker, data::TaskId task,
+               data::Response value, bool* changed);
+  std::string HandleCommand(const Command& cmd, bool* quit);
+  Result<uint64_t> TakeSnapshotLocked();
+
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<core::IncrementalEvaluator> evaluator_;
+  std::optional<Journal> journal_;
+  uint64_t last_seq_ = 0;
+  ServiceStats stats_;
+};
+
+}  // namespace crowd::server
+
+#endif  // CROWD_SERVER_SERVICE_H_

@@ -1,0 +1,164 @@
+#include "server/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "server/binary_io.h"
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53575243u;  // "CRWS" little-endian
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 44;
+constexpr const char* kPrefix = "snapshot-";
+constexpr const char* kSuffix = ".crws";
+
+}  // namespace
+
+Result<data::ResponseMatrix> SnapshotData::ToMatrix() const {
+  data::ResponseMatrix matrix(num_workers, num_tasks,
+                              static_cast<int>(arity));
+  if (cells.size() !=
+      static_cast<size_t>(num_workers) * num_tasks) {
+    return Status::Internal("snapshot cell count mismatch");
+  }
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    for (data::TaskId t = 0; t < num_tasks; ++t) {
+      int16_t v = cells[w * num_tasks + t];
+      if (v < 0) continue;
+      CROWD_RETURN_NOT_OK(matrix.Set(w, t, v));
+    }
+  }
+  return matrix;
+}
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  return StrFormat("%s/%s%020llu%s", dir.c_str(), kPrefix,
+                   static_cast<unsigned long long>(seq), kSuffix);
+}
+
+Result<uint64_t> WriteSnapshot(const std::string& dir,
+                               const data::ResponseMatrix& responses,
+                               uint64_t applied_seq) {
+  const size_t nw = responses.num_workers();
+  const size_t nt = responses.num_tasks();
+  std::vector<uint8_t> payload;
+  payload.reserve(nw * nt * 2);
+  for (data::WorkerId w = 0; w < nw; ++w) {
+    for (data::TaskId t = 0; t < nt; ++t) {
+      auto r = responses.Get(w, t);
+      int16_t cell =
+          r.has_value() ? static_cast<int16_t>(*r) : int16_t{-1};
+      uint16_t u = static_cast<uint16_t>(cell);
+      payload.push_back(static_cast<uint8_t>(u));
+      payload.push_back(static_cast<uint8_t>(u >> 8));
+    }
+  }
+
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  PutU32(&bytes, kMagic);
+  PutU32(&bytes, kVersion);
+  PutU32(&bytes, static_cast<uint32_t>(nw));
+  PutU32(&bytes, static_cast<uint32_t>(nt));
+  PutU32(&bytes, static_cast<uint32_t>(responses.arity()));
+  PutU32(&bytes, 0);  // reserved
+  PutU64(&bytes, applied_seq);
+  PutU64(&bytes, payload.size());
+  PutU32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const std::string path = SnapshotPath(dir, applied_seq);
+  const std::string tmp = path + ".tmp";
+  {
+    CROWD_ASSIGN_OR_RETURN(File file, File::Create(tmp));
+    CROWD_RETURN_NOT_OK(file.WriteAll(bytes.data(), bytes.size()));
+    CROWD_RETURN_NOT_OK(file.Sync());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path);
+  }
+  CROWD_RETURN_NOT_OK(SyncDirectoryOf(path));
+  return static_cast<uint64_t>(bytes.size());
+}
+
+Result<SnapshotData> LoadSnapshot(const std::string& path) {
+  CROWD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  if (bytes.size() < kHeaderBytes || GetU32(bytes.data()) != kMagic) {
+    return Status::IoError("snapshot " + path +
+                           ": missing or corrupt header");
+  }
+  if (GetU32(bytes.data() + 4) != kVersion) {
+    return Status::IoError(
+        StrFormat("snapshot %s: unsupported version %u", path.c_str(),
+                  GetU32(bytes.data() + 4)));
+  }
+  SnapshotData data;
+  data.num_workers = GetU32(bytes.data() + 8);
+  data.num_tasks = GetU32(bytes.data() + 12);
+  data.arity = GetU32(bytes.data() + 16);
+  data.applied_seq = GetU64(bytes.data() + 24);
+  const uint64_t payload_bytes = GetU64(bytes.data() + 32);
+  const uint32_t crc = GetU32(bytes.data() + 40);
+  if (bytes.size() != kHeaderBytes + payload_bytes ||
+      payload_bytes !=
+          static_cast<uint64_t>(data.num_workers) * data.num_tasks * 2) {
+    return Status::IoError("snapshot " + path + ": truncated payload");
+  }
+  const uint8_t* payload = bytes.data() + kHeaderBytes;
+  if (Crc32(payload, static_cast<size_t>(payload_bytes)) != crc) {
+    return Status::IoError("snapshot " + path + ": checksum mismatch");
+  }
+  data.cells.resize(static_cast<size_t>(data.num_workers) *
+                    data.num_tasks);
+  for (size_t i = 0; i < data.cells.size(); ++i) {
+    uint16_t u = static_cast<uint16_t>(
+        payload[2 * i] | (payload[2 * i + 1] << 8));
+    data.cells[i] = static_cast<int16_t>(u);
+  }
+  return data;
+}
+
+Result<std::vector<uint64_t>> ListSnapshotSeqs(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, kPrefix)) continue;
+    if (name.size() <= std::string(kPrefix).size() ||
+        !name.ends_with(kSuffix)) {
+      continue;
+    }
+    std::string_view digits(name);
+    digits.remove_prefix(std::string(kPrefix).size());
+    digits.remove_suffix(std::string(kSuffix).size());
+    auto seq = ParseInt(digits);
+    if (seq.ok() && *seq >= 0) {
+      seqs.push_back(static_cast<uint64_t>(*seq));
+    }
+  }
+  if (ec) {
+    return Status::IoError("listing " + dir + ": " + ec.message());
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+Status RemoveSnapshotsBefore(const std::string& dir, uint64_t keep_seq) {
+  CROWD_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs, ListSnapshotSeqs(dir));
+  for (uint64_t seq : seqs) {
+    if (seq < keep_seq) {
+      std::remove(SnapshotPath(dir, seq).c_str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace crowd::server

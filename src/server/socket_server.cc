@@ -1,0 +1,181 @@
+#include "server/socket_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowd::server {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IoError(StrFormat("%s: %s", op, std::strerror(errno)));
+}
+
+/// Sends the whole buffer, suppressing SIGPIPE.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Service* service, SocketServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (running_.load()) return Status::Invalid("server already started");
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Errno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::Invalid("unix socket path too long: " +
+                             options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a killed daemon would make bind fail.
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind");
+    }
+  } else if (options_.use_tcp) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Errno("socket");
+    int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::Invalid("bad listen address: " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  } else {
+    return Status::Invalid("no listener configured (unix_path or tcp)");
+  }
+  if (::listen(listen_fd_, 64) != 0) return Errno("listen");
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  while (running_.load()) {
+    // Poll with a timeout so Stop() is observed promptly even with no
+    // incoming connection to wake the loop.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed
+    }
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(client_mu_);
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back(
+        [this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && running_.load()) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or shutdown() from Stop()
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && !quit;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      std::string reply = service_->ExecuteLine(line, &quit);
+      reply.push_back('\n');
+      if (!SendAll(fd, reply.data(), reply.size())) quit = true;
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(client_mu_);
+  client_fds_.erase(
+      std::remove(client_fds_.begin(), client_fds_.end(), fd),
+      client_fds_.end());
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Start() may have failed after creating the socket.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Wake blocked recv()s; the connection threads then exit and
+    // close their own fds.
+    std::lock_guard<std::mutex> lock(client_mu_);
+    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(client_mu_);
+    threads.swap(client_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+}  // namespace crowd::server

@@ -1,0 +1,72 @@
+// The crowdevald network front end: accepts connections on a
+// Unix-domain or loopback TCP socket and speaks the newline-delimited
+// protocol of server/protocol.h, one thread per connection. All state
+// lives in the shared Service (which serializes commands internally);
+// the socket layer only frames lines and writes replies.
+
+#ifndef CROWD_SERVER_SOCKET_SERVER_H_
+#define CROWD_SERVER_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "util/result.h"
+
+namespace crowd::server {
+
+/// \brief Listener configuration. Exactly one of `unix_path` (when
+/// non-empty) or TCP (`host`:`port`) is used; a `port` of 0 binds an
+/// ephemeral port, readable from SocketServer::port() after Start().
+struct SocketServerOptions {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool use_tcp = false;
+};
+
+/// \brief Accept loop + per-connection protocol pumps.
+class SocketServer {
+ public:
+  SocketServer(Service* service, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread.
+  Status Start();
+  /// Stops accepting, disconnects every client and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound TCP port (after Start() with use_tcp).
+  uint16_t port() const { return port_; }
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const { return connections_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Service* service_;
+  SocketServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::thread accept_thread_;
+
+  std::mutex client_mu_;
+  std::vector<int> client_fds_;          // guarded by client_mu_
+  std::vector<std::thread> client_threads_;  // guarded by client_mu_
+};
+
+}  // namespace crowd::server
+
+#endif  // CROWD_SERVER_SOCKET_SERVER_H_

@@ -212,5 +212,38 @@ TEST(Incremental, RangeValidation) {
   EXPECT_TRUE(incremental.Evaluate(5).status().IsInvalid());
 }
 
+// AddResponse handles untrusted (network) input: rejections must name
+// the offending id/value and the valid range, and must leave the
+// evaluator completely untouched.
+TEST(Incremental, AddResponseRejectionNamesOffendingValue) {
+  IncrementalEvaluator incremental(4, 7);
+  ASSERT_TRUE(incremental.AddResponse(1, 2, 1).ok());
+
+  Status st = incremental.AddResponse(4, 0, 0);
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("worker id 4 out of range [0, 4)"),
+            std::string::npos)
+      << st.message();
+
+  st = incremental.AddResponse(0, 7, 0);
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("task id 7 out of range [0, 7)"),
+            std::string::npos)
+      << st.message();
+
+  st = incremental.AddResponse(0, 0, 2);
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("response 2"), std::string::npos)
+      << st.message();
+  st = incremental.AddResponse(0, 0, -1);
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("response -1"), std::string::npos)
+      << st.message();
+
+  // No rejected call changed any state.
+  EXPECT_EQ(incremental.TotalResponses(), 1u);
+  EXPECT_EQ(incremental.responses().Get(1, 2), std::optional<int>(1));
+}
+
 }  // namespace
 }  // namespace crowd::core

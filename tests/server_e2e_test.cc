@@ -1,0 +1,246 @@
+// End-to-end test of the crowdevald daemon: spawns the real binary
+// (path injected as CROWDEVALD_BIN by the build), streams >= 10k
+// responses over a unix socket, checks EVAL_ALL against an in-process
+// batch evaluation bit-for-bit, then SIGKILLs the daemon mid-flight
+// and verifies that a restarted daemon recovers the identical state
+// from snapshot + journal replay.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "gtest/gtest.h"
+#include "rng/random.h"
+#include "server/protocol.h"
+
+namespace crowd::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A line-oriented unix-socket client.
+class Client {
+ public:
+  explicit Client(const std::string& path) { Connect(path); }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  // Sends one command line and returns the one-line JSON reply
+  // (without the newline).
+  std::string RoundTrip(const std::string& command) {
+    std::string out = command + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+      ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "send: " << std::strerror(errno);
+        return "";
+      }
+      sent += static_cast<size_t>(n);
+    }
+    for (;;) {
+      size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "recv: " << std::strerror(errno);
+        return "";
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  void Connect(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd_, 0) << std::strerror(errno);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0)
+        << path << ": " << std::strerror(errno);
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// Spawns `crowdevald serve` and waits until the socket accepts.
+pid_t SpawnDaemon(const std::vector<std::string>& extra_args,
+                  const std::string& socket_path,
+                  const std::string& log_path) {
+  std::vector<std::string> args = {CROWDEVALD_BIN, "serve",
+                                   "--socket=" + socket_path};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    int log = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                     0644);
+    if (log >= 0) {
+      ::dup2(log, STDOUT_FILENO);
+      ::dup2(log, STDERR_FILENO);
+      ::close(log);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  EXPECT_GT(pid, 0) << std::strerror(errno);
+
+  // Readiness: poll until a connect succeeds (or the daemon died).
+  for (int i = 0; i < 500; ++i) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    ::close(fd);
+    if (rc == 0) return pid;
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      ADD_FAILURE() << "daemon exited during startup; log: " << log_path;
+      return -1;
+    }
+    ::usleep(20 * 1000);
+  }
+  ADD_FAILURE() << "daemon never became ready; log: " << log_path;
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+TEST(CrowdevaldE2eTest, StreamCrashRecoverBitIdentical) {
+  const std::string dir =
+      testing::TempDir() + "/crowdevald_e2e_" + std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path = dir + "/sock";
+  const std::string state_dir = dir + "/state";
+  const std::string log_path = dir + "/daemon.log";
+
+  constexpr size_t kWorkers = 15;
+  constexpr size_t kTasks = 80;
+  constexpr size_t kResponses = 10000;
+  constexpr size_t kPostSnapshotResponses = 500;
+
+  pid_t pid = SpawnDaemon({"--workers=" + std::to_string(kWorkers),
+                           "--tasks=" + std::to_string(kTasks),
+                           "--data-dir=" + state_dir, "--threads=2"},
+                          socket_path, log_path);
+  ASSERT_GT(pid, 0);
+
+  // The daemon's ground truth, mirrored in-process. Bit-identical
+  // assessments only need the same response matrix and options
+  // (confidence defaults to 0.95 in both; thread count never matters).
+  core::BinaryOptions options;
+  options.confidence = 0.95;
+  core::IncrementalEvaluator mirror(kWorkers, kTasks, options);
+
+  {
+    Client client(socket_path);
+    Random rng(42);
+    for (size_t i = 0; i < kResponses; ++i) {
+      auto w = static_cast<data::WorkerId>(rng.UniformInt(kWorkers));
+      auto t = static_cast<data::TaskId>(rng.UniformInt(kTasks));
+      auto v = static_cast<data::Response>(rng.UniformInt(2));
+      std::string reply = client.RoundTrip(
+          "RESP " + std::to_string(w) + " " + std::to_string(t) + " " +
+          std::to_string(v));
+      ASSERT_EQ(reply.find("{\"ok\":true,\"seq\":"), 0u)
+          << "response " << i << ": " << reply;
+      ASSERT_TRUE(mirror.AddResponse(w, t, v).ok());
+    }
+
+    // EVAL_ALL over the socket must equal the batch evaluation of the
+    // same matrix, byte for byte.
+    std::string expected =
+        "{\"ok\":true," + MWorkerResultBodyJson(mirror.EvaluateAll()) + "}";
+    EXPECT_EQ(client.RoundTrip("EVAL_ALL"), expected);
+
+    std::string stats = client.RoundTrip("STATS");
+    EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+    EXPECT_EQ(stats.find("\"responses_ingested\":0"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"eval_all_runs\":1"), std::string::npos)
+        << stats;
+
+    // Durability checkpoint, then more traffic that only the journal
+    // will cover.
+    std::string snap = client.RoundTrip("SNAPSHOT");
+    EXPECT_EQ(snap.find("{\"ok\":true,\"snapshot_seq\":"), 0u) << snap;
+    for (size_t i = 0; i < kPostSnapshotResponses; ++i) {
+      auto w = static_cast<data::WorkerId>(rng.UniformInt(kWorkers));
+      auto t = static_cast<data::TaskId>(rng.UniformInt(kTasks));
+      auto v = static_cast<data::Response>(rng.UniformInt(2));
+      ASSERT_EQ(client
+                    .RoundTrip("RESP " + std::to_string(w) + " " +
+                               std::to_string(t) + " " + std::to_string(v))
+                    .find("{\"ok\":true"),
+                0u);
+      ASSERT_TRUE(mirror.AddResponse(w, t, v).ok());
+    }
+  }
+
+  // Crash hard: no final snapshot, no clean socket shutdown. Every
+  // acknowledged response must still be recovered.
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Restart on the same data dir; dimensions come from disk.
+  pid = SpawnDaemon({"--data-dir=" + state_dir, "--threads=2"},
+                    socket_path, log_path);
+  ASSERT_GT(pid, 0);
+  {
+    Client client(socket_path);
+    std::string expected =
+        "{\"ok\":true," + MWorkerResultBodyJson(mirror.EvaluateAll()) + "}";
+    EXPECT_EQ(client.RoundTrip("EVAL_ALL"), expected)
+        << "recovered state diverged; daemon log: " << log_path;
+
+    std::string stats = client.RoundTrip("STATS");
+    EXPECT_EQ(stats.find("\"recovered_records\":0"), std::string::npos)
+        << "journal tail was not replayed: " << stats;
+    EXPECT_EQ(stats.find("\"snapshot_seq\":0,"), std::string::npos)
+        << "snapshot was not loaded: " << stats;
+    EXPECT_EQ(client.RoundTrip("QUIT"), "{\"ok\":true,\"bye\":true}");
+  }
+
+  // Clean shutdown: SIGTERM -> exit 0 (after a final snapshot).
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace crowd::server

@@ -1,0 +1,157 @@
+// Tests for the crowdevald wire protocol: command parsing and the JSON
+// serializers shared by the daemon and the CLI's --format=json mode.
+
+#include "server/protocol.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace crowd::server {
+namespace {
+
+TEST(ParseCommandTest, RespHappyPath) {
+  auto cmd = ParseCommand("RESP 3 17 1");
+  ASSERT_TRUE(cmd.ok()) << cmd.status();
+  EXPECT_EQ(cmd->type, CommandType::kResp);
+  EXPECT_EQ(cmd->worker, 3u);
+  EXPECT_EQ(cmd->task, 17u);
+  EXPECT_EQ(cmd->value, 1);
+}
+
+TEST(ParseCommandTest, ToleratesTabsRepeatedSpacesAndTrailingCr) {
+  auto cmd = ParseCommand("RESP\t3  17 \t 0\r");
+  ASSERT_TRUE(cmd.ok()) << cmd.status();
+  EXPECT_EQ(cmd->type, CommandType::kResp);
+  EXPECT_EQ(cmd->worker, 3u);
+  EXPECT_EQ(cmd->task, 17u);
+  EXPECT_EQ(cmd->value, 0);
+}
+
+TEST(ParseCommandTest, RespArityChecked) {
+  EXPECT_TRUE(ParseCommand("RESP 1 2").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("RESP 1 2 3 4").status().IsInvalid());
+}
+
+TEST(ParseCommandTest, RespRejectsNonNumericAndNegativeIds) {
+  EXPECT_TRUE(ParseCommand("RESP x 2 1").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("RESP 1 -2 1").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("RESP 1 2 yes").status().IsInvalid());
+}
+
+TEST(ParseCommandTest, Eval) {
+  auto cmd = ParseCommand("EVAL 7");
+  ASSERT_TRUE(cmd.ok()) << cmd.status();
+  EXPECT_EQ(cmd->type, CommandType::kEval);
+  EXPECT_EQ(cmd->worker, 7u);
+  EXPECT_TRUE(ParseCommand("EVAL").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("EVAL 1 2").status().IsInvalid());
+}
+
+TEST(ParseCommandTest, NullaryVerbs) {
+  struct Case {
+    const char* line;
+    CommandType type;
+  };
+  const Case cases[] = {
+      {"EVAL_ALL", CommandType::kEvalAll},
+      {"SPAMMERS", CommandType::kSpammers},
+      {"STATS", CommandType::kStats},
+      {"SNAPSHOT", CommandType::kSnapshot},
+      {"QUIT", CommandType::kQuit},
+  };
+  for (const Case& c : cases) {
+    auto cmd = ParseCommand(c.line);
+    ASSERT_TRUE(cmd.ok()) << c.line << ": " << cmd.status();
+    EXPECT_EQ(cmd->type, c.type) << c.line;
+    // Arguments on a nullary verb are an error, not silently dropped.
+    auto with_arg = ParseCommand(std::string(c.line) + " 1");
+    EXPECT_TRUE(with_arg.status().IsInvalid()) << c.line;
+  }
+}
+
+TEST(ParseCommandTest, UnknownAndEmptyCommands) {
+  EXPECT_TRUE(ParseCommand("FLUSH").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("   \t ").status().IsInvalid());
+  EXPECT_TRUE(ParseCommand("resp 1 2 1").status().IsInvalid())
+      << "verbs are case-sensitive";
+}
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonDoubleTest, RoundTripsBitExactly) {
+  const double values[] = {0.0,
+                           1.0 / 3.0,
+                           0.1,
+                           -2.5e-17,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           -123.456789012345678};
+  for (double v : values) {
+    std::string text = JsonDouble(v);
+    double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, v) << text;
+  }
+}
+
+TEST(JsonDoubleTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(SerializerTest, AssessmentJsonShape) {
+  core::WorkerAssessment a;
+  a.worker = 4;
+  a.error_rate = 0.25;
+  a.deviation = 0.5;
+  a.interval = {0.1, 0.4, 0.95};
+  a.num_triples = 6;
+  a.any_clamped = true;
+  EXPECT_EQ(AssessmentJson(a),
+            "{\"worker\":4,\"error_rate\":0.25,\"deviation\":0.5,"
+            "\"interval\":{\"lo\":0.10000000000000001,"
+            "\"hi\":0.40000000000000002,\"confidence\":0.94999999999999996},"
+            "\"num_triples\":6,\"any_clamped\":true}");
+}
+
+TEST(SerializerTest, FailureAndErrorJsonEscapeMessages) {
+  Status st = Status::Invalid("bad \"input\"");
+  std::string failure = FailureJson(2, st);
+  EXPECT_NE(failure.find("\"worker\":2"), std::string::npos);
+  EXPECT_NE(failure.find("bad \\\"input\\\""), std::string::npos);
+  EXPECT_NE(failure.find(StatusCodeToString(st.code())),
+            std::string::npos);
+
+  std::string error = ErrorJson(st);
+  EXPECT_NE(error.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(error.find("bad \\\"input\\\""), std::string::npos);
+}
+
+TEST(SerializerTest, MWorkerResultBodyJson) {
+  core::MWorkerResult result;
+  core::WorkerAssessment a;
+  a.worker = 0;
+  a.error_rate = 0.5;
+  a.deviation = 0.0;
+  a.interval = {0.25, 0.75, 0.9};
+  a.num_triples = 1;
+  result.assessments.push_back(a);
+  result.failures.emplace_back(1, Status::InsufficientData("no triple"));
+  std::string body = MWorkerResultBodyJson(result);
+  EXPECT_EQ(body.find("\"assessments\":[{"), 0u);
+  EXPECT_NE(body.find("\"failures\":[{\"worker\":1,"), std::string::npos);
+  EXPECT_NE(body.find("no triple"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowd::server

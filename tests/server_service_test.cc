@@ -1,0 +1,278 @@
+// Tests for the crowdevald serving layer (Service::ExecuteLine and the
+// typed entry points): command replies, counter accounting, cache
+// hit/miss tracking, and snapshot compaction — all in-process, no
+// sockets.
+
+#include "server/service.h"
+
+#include <filesystem>
+#include <string>
+
+#include "core/m_worker.h"
+#include "gtest/gtest.h"
+#include "rng/random.h"
+#include "server/protocol.h"
+
+namespace crowd::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/crowd_service_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<Service> OpenInMemory(size_t workers, size_t tasks) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.num_tasks = tasks;
+  auto service = Service::Open(options);
+  EXPECT_TRUE(service.ok()) << service.status();
+  return std::move(*service);
+}
+
+// Fills every cell of the service (and the returned matrix) with a
+// deterministic pseudo-random response pattern.
+data::ResponseMatrix FillDense(Service* service, size_t workers,
+                               size_t tasks, uint64_t seed) {
+  data::ResponseMatrix matrix(workers, tasks, 2);
+  Random rng(seed);
+  for (data::WorkerId w = 0; w < workers; ++w) {
+    for (data::TaskId t = 0; t < tasks; ++t) {
+      auto v = static_cast<data::Response>(rng.UniformInt(2));
+      EXPECT_TRUE(service->Ingest(w, t, v).ok());
+      EXPECT_TRUE(matrix.Set(w, t, v).ok());
+    }
+  }
+  return matrix;
+}
+
+TEST(ServiceTest, RespAcksWithSequenceNumber) {
+  auto service = OpenInMemory(4, 6);
+  EXPECT_EQ(service->ExecuteLine("RESP 0 0 1"), "{\"ok\":true,\"seq\":1}");
+  EXPECT_EQ(service->ExecuteLine("RESP 1 0 0"), "{\"ok\":true,\"seq\":2}");
+  // Identical re-submission is acknowledged but does not advance seq.
+  EXPECT_EQ(service->ExecuteLine("RESP 1 0 0"), "{\"ok\":true,\"seq\":2}");
+  // Overwriting with a different value is a new accepted response.
+  EXPECT_EQ(service->ExecuteLine("RESP 1 0 1"), "{\"ok\":true,\"seq\":3}");
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.responses_ingested, 3u);
+  EXPECT_EQ(stats.responses_noop, 1u);
+  EXPECT_EQ(stats.responses_rejected, 0u);
+}
+
+TEST(ServiceTest, RespRejectionNamesTheOffendingId) {
+  auto service = OpenInMemory(4, 6);
+  std::string reply = service->ExecuteLine("RESP 9 0 1");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(reply.find("worker id 9 out of range [0, 4)"),
+            std::string::npos);
+  reply = service->ExecuteLine("RESP 0 42 1");
+  EXPECT_NE(reply.find("task id 42 out of range [0, 6)"),
+            std::string::npos);
+  reply = service->ExecuteLine("RESP 0 0 5");
+  EXPECT_NE(reply.find("response 5"), std::string::npos);
+  EXPECT_EQ(service->stats().responses_rejected, 3u);
+  EXPECT_EQ(service->last_seq(), 0u);
+}
+
+TEST(ServiceTest, EvalAllMatchesBatchEvaluatorBitForBit) {
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kTasks = 20;
+  auto service = OpenInMemory(kWorkers, kTasks);
+  data::ResponseMatrix matrix =
+      FillDense(service.get(), kWorkers, kTasks, 2024);
+
+  auto batch = core::MWorkerEvaluate(matrix, core::BinaryOptions{});
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_FALSE(batch->assessments.empty());
+  EXPECT_EQ(service->ExecuteLine("EVAL_ALL"),
+            "{\"ok\":true," + MWorkerResultBodyJson(*batch) + "}");
+
+  // A single EVAL carries the same per-worker document.
+  const core::WorkerAssessment& first = batch->assessments[0];
+  EXPECT_EQ(
+      service->ExecuteLine("EVAL " + std::to_string(first.worker)),
+      "{\"ok\":true,\"assessment\":" + AssessmentJson(first) + "}");
+}
+
+TEST(ServiceTest, EvalTracksCacheHitsAndMisses) {
+  auto service = OpenInMemory(6, 12);
+  data::ResponseMatrix matrix = FillDense(service.get(), 6, 12, 7);
+
+  // Whether worker 2 evaluates or legitimately fails (no usable
+  // triple) is data-dependent; either way the result is computed once
+  // and memoized.
+  service->ExecuteLine("EVAL 2");
+  EXPECT_EQ(service->stats().eval_cache_misses, 1u);
+  EXPECT_EQ(service->stats().eval_cache_hits, 0u);
+
+  service->ExecuteLine("EVAL 2");  // memoized now
+  EXPECT_EQ(service->stats().eval_cache_hits, 1u);
+
+  // Flip (2, 0) to the opposite value: a real change, so worker 2's
+  // cached assessment is invalidated.
+  int flipped = 1 - *matrix.Get(2, 0);
+  service->ExecuteLine("RESP 2 0 " + std::to_string(flipped));
+  service->ExecuteLine("EVAL 2");
+  EXPECT_EQ(service->stats().eval_cache_misses, 2u);
+}
+
+TEST(ServiceTest, EvalAllBatchesWritesBetweenEvaluations) {
+  // Two disjoint cliques: workers 0-2 on tasks 0-5, workers 3-5 on
+  // tasks 6-11. A write inside one clique cannot dirty the other.
+  constexpr size_t kWorkers = 6;
+  constexpr size_t kTasks = 12;
+  auto service = OpenInMemory(kWorkers, kTasks);
+  Random rng(11);
+  for (data::WorkerId w = 0; w < kWorkers; ++w) {
+    for (data::TaskId t = (w < 3) ? 0u : 6u; t < ((w < 3) ? 6u : kTasks);
+         ++t) {
+      ASSERT_TRUE(
+          service
+              ->Ingest(w, t, static_cast<data::Response>(rng.UniformInt(2)))
+              .ok());
+    }
+  }
+
+  service->ExecuteLine("EVAL_ALL");
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.eval_all_runs, 1u);
+  EXPECT_EQ(stats.eval_cache_misses, kWorkers);
+
+  // A burst of writes in the first clique is absorbed by one pass;
+  // the second clique's workers are served from cache.
+  service->ExecuteLine("RESP 0 0 0");
+  service->ExecuteLine("RESP 0 0 1");  // guaranteed change vs previous line
+  service->ExecuteLine("EVAL_ALL");
+  stats = service->stats();
+  EXPECT_EQ(stats.eval_all_runs, 2u);
+  EXPECT_GE(stats.eval_cache_hits, 3u) << "second clique stayed cached";
+}
+
+TEST(ServiceTest, StatsReportsCountersAsJson) {
+  auto service = OpenInMemory(5, 9);
+  service->ExecuteLine("RESP 0 0 1");
+  service->ExecuteLine("RESP 1 0 0");
+  service->ExecuteLine("EVAL_ALL");
+
+  std::string reply = service->ExecuteLine("STATS");
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(reply.find("\"num_workers\":5"), std::string::npos);
+  EXPECT_NE(reply.find("\"num_tasks\":9"), std::string::npos);
+  EXPECT_NE(reply.find("\"total_responses\":2"), std::string::npos);
+  EXPECT_NE(reply.find("\"last_seq\":2"), std::string::npos);
+  EXPECT_NE(reply.find("\"responses_ingested\":2"), std::string::npos);
+  EXPECT_NE(reply.find("\"eval_all_runs\":1"), std::string::npos);
+  EXPECT_NE(reply.find("\"dirty_workers\":0"), std::string::npos);
+}
+
+TEST(ServiceTest, SnapshotWithoutDataDirIsAnError) {
+  auto service = OpenInMemory(3, 3);
+  std::string reply = service->ExecuteLine("SNAPSHOT");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(reply.find("data directory"), std::string::npos);
+}
+
+TEST(ServiceTest, QuitAndUnknownCommands) {
+  auto service = OpenInMemory(3, 3);
+  bool quit = false;
+  EXPECT_EQ(service->ExecuteLine("QUIT", &quit),
+            "{\"ok\":true,\"bye\":true}");
+  EXPECT_TRUE(quit);
+
+  quit = true;
+  std::string reply = service->ExecuteLine("BOGUS 1 2", &quit);
+  EXPECT_FALSE(quit);
+  EXPECT_NE(reply.find("unknown command: BOGUS"), std::string::npos);
+  EXPECT_NE(service->ExecuteLine("").find("\"ok\":false"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, SnapshotCommandCompactsJournal) {
+  std::string dir = ScratchDir("snapshot_compacts");
+  ServiceOptions options;
+  options.num_workers = 5;
+  options.num_tasks = 10;
+  options.data_dir = dir + "/state";
+  auto service = Service::Open(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  for (int i = 0; i < 10; ++i) {
+    (*service)->ExecuteLine(
+        "RESP " + std::to_string(i % 5) + " " + std::to_string(i / 5) +
+        " 1");
+  }
+  ServiceStats before = (*service)->stats();
+  EXPECT_EQ(before.journal_records, 10u);
+
+  std::string reply = (*service)->ExecuteLine("SNAPSHOT");
+  EXPECT_EQ(reply.find("{\"ok\":true,\"snapshot_seq\":10,"), 0u) << reply;
+  ServiceStats after = (*service)->stats();
+  EXPECT_EQ(after.journal_records, 0u);
+  EXPECT_EQ(after.snapshot_seq, 10u);
+  EXPECT_EQ(after.snapshots_written, 1u);
+  EXPECT_LT(after.journal_bytes, before.journal_bytes);
+
+  // Post-snapshot writes land in the compacted journal and recovery
+  // stitches snapshot + tail back together.
+  (*service)->ExecuteLine("RESP 4 9 1");
+  std::string expected =
+      MWorkerResultBodyJson((*service)->EvaluateAll());
+  service->reset();
+
+  ServiceOptions recover;
+  recover.data_dir = dir + "/state";
+  auto recovered = Service::Open(recover);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->last_seq(), 11u);
+  EXPECT_EQ((*recovered)->stats().recovered_records, 1u);
+  EXPECT_EQ(MWorkerResultBodyJson((*recovered)->EvaluateAll()), expected);
+}
+
+TEST(ServiceTest, AutomaticSnapshotEveryN) {
+  std::string dir = ScratchDir("auto_snapshot");
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.num_tasks = 8;
+  options.data_dir = dir + "/state";
+  options.snapshot_every = 5;
+  auto service = Service::Open(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE((*service)
+                    ->Ingest(static_cast<data::WorkerId>(i % 4),
+                             static_cast<data::TaskId>(i / 4), 1)
+                    .ok());
+  }
+  ServiceStats stats = (*service)->stats();
+  EXPECT_EQ(stats.snapshots_written, 2u);
+  EXPECT_EQ(stats.snapshot_seq, 10u);
+  EXPECT_EQ(stats.journal_records, 2u);
+}
+
+TEST(ServiceTest, SpammersCommandReportsFilteredWorkers) {
+  constexpr size_t kWorkers = 5;
+  constexpr size_t kTasks = 30;
+  auto service = OpenInMemory(kWorkers, kTasks);
+  // Workers 0-3 agree on everything; worker 4 contradicts the majority
+  // on every task (proxy error 1.0, far above the 0.4 threshold).
+  for (data::TaskId t = 0; t < kTasks; ++t) {
+    for (data::WorkerId w = 0; w + 1 < kWorkers; ++w) {
+      ASSERT_TRUE(service->Ingest(w, t, 1).ok());
+    }
+    ASSERT_TRUE(service->Ingest(kWorkers - 1, t, 0).ok());
+  }
+  std::string reply = service->ExecuteLine("SPAMMERS");
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(reply.find("\"spammers\":[{\"worker\":4,"), std::string::npos)
+      << reply;
+}
+
+}  // namespace
+}  // namespace crowd::server

@@ -3,17 +3,21 @@
 //   crowdeval evaluate   --responses=R.csv [--gold=G.csv]
 //                        [--confidence=0.95] [--prune-spammers]
 //                        [--uniform-weights] [--clamp-singularities]
-//                        [--threads=N]
+//                        [--threads=N] [--format=text|json]
 //       Binary worker evaluation (Algorithm A2). Prints one line per
 //       worker: point estimate, confidence interval, triples used; and
 //       when gold labels are given, the gold-proxy error for reference.
 //       --threads=N evaluates workers on N threads (0 = one per core;
 //       default 1); the output is identical for every thread count.
+//       --format=json emits one JSON document in the crowdevald wire
+//       schema (src/server/protocol.h) instead of the table, so batch
+//       and daemon output are directly comparable.
 //
 //   crowdeval evaluate-kary --responses=R.csv --workers=a,b,c
 //                        [--gold=G.csv] [--confidence=0.95]
+//                        [--format=text|json]
 //       k-ary response-probability intervals for one worker triple
-//       (Algorithm A3).
+//       (Algorithm A3). --format=json emits a single JSON document.
 //
 //   crowdeval spammers   --responses=R.csv [--threshold=0.4]
 //       Majority-vote spammer filter (Section III-E2) — lists flagged
@@ -32,6 +36,7 @@
 
 #include "core/evaluator.h"
 #include "data/dataset_io.h"
+#include "server/protocol.h"
 #include "util/string_util.h"
 
 namespace crowd {
@@ -47,6 +52,7 @@ struct Args {
   bool uniform_weights = false;
   bool clamp_singularities = false;
   size_t threads = 1;
+  std::string format = "text";
   std::vector<size_t> workers;
 };
 
@@ -74,6 +80,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
                              ParseInt(value_of("--threads=")));
       if (threads < 0) return Status::Invalid("negative thread count");
       args.threads = static_cast<size_t>(threads);
+    } else if (StartsWith(arg, "--format=")) {
+      args.format = value_of("--format=");
+      if (args.format != "text" && args.format != "json") {
+        return Status::Invalid("--format must be text or json, got " +
+                               args.format);
+      }
     } else if (arg == "--prune-spammers") {
       args.prune_spammers = true;
     } else if (arg == "--uniform-weights") {
@@ -118,9 +130,17 @@ int RunEvaluate(const Args& args) {
   auto report =
       core::CrowdEvaluator(config).EvaluateBinary(dataset->responses());
   if (!report.ok()) {
-    std::fprintf(stderr, "evaluation failed: %s\n",
-                 report.status().ToString().c_str());
+    if (args.format == "json") {
+      std::printf("%s\n", server::ErrorJson(report.status()).c_str());
+    } else {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   report.status().ToString().c_str());
+    }
     return 1;
+  }
+  if (args.format == "json") {
+    std::printf("%s\n", server::BinaryReportJson(*report).c_str());
+    return 0;
   }
   if (!report->removed_spammers.empty()) {
     std::printf("# pruned %zu suspected spammers:",
@@ -163,9 +183,18 @@ int RunEvaluateKary(const Args& args) {
       dataset->responses(), args.workers[0], args.workers[1],
       args.workers[2]);
   if (!result.ok()) {
-    std::fprintf(stderr, "evaluation failed: %s\n",
-                 result.status().ToString().c_str());
+    if (args.format == "json") {
+      std::printf("%s\n", server::ErrorJson(result.status()).c_str());
+    } else {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   result.status().ToString().c_str());
+    }
     return 1;
+  }
+  if (args.format == "json") {
+    std::printf("%s\n",
+                server::KaryResultJson(*result, args.workers).c_str());
+    return 0;
   }
   const int k = dataset->responses().arity();
   for (int idx = 0; idx < 3; ++idx) {
