@@ -3,6 +3,11 @@
 // O(m^2 n + m^4); the k-ary method is O(k^6 + n k^3) per triple
 // (dominated in practice by the (k+1)^3-cell numerical Jacobian, each
 // cell costing two spectral estimates).
+//
+// The BM_Obs* group prices the observability hot paths (src/obs/):
+// the gate check when metrics are off, a counter increment, a
+// histogram record, and a scoped span in both tracer states. These
+// bound what instrumenting a pipeline stage costs.
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +17,8 @@
 #include "core/m_worker.h"
 #include "core/three_worker.h"
 #include "data/overlap_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 #include "sim/simulator.h"
 
@@ -134,6 +141,68 @@ void BM_DawidSkene(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DawidSkene)->Arg(7)->Arg(21);
+
+// ---- observability hot paths ----------------------------------------
+// Each benchmark mirrors the exact instrumentation-site pattern
+// (registry gate + function-local-static handle) so the number is what
+// a real call site pays, then restores the global off state.
+
+void BM_ObsGateDisabled(benchmark::State& state) {
+  obs::DisableMetrics();
+  for (auto _ : state) {
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_ObsGateDisabled);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::EnableMetrics();
+  for (auto _ : state) {
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::Counter* const counter = r->GetCounter(
+          "crowdeval_bench_increments_total", "bench counter");
+      counter->Increment();
+    }
+  }
+  obs::DisableMetrics();
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::EnableMetrics();
+  double value = 1e-5;
+  for (auto _ : state) {
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::HistogramMetric* const hist =
+          r->GetHistogram("crowdeval_bench_record_seconds",
+                          "bench histogram", obs::Histogram::LatencyBounds());
+      hist->Record(value);
+    }
+    value += 1e-8;  // defeat a constant-folded bucket search
+  }
+  obs::DisableMetrics();
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    CROWD_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::StartTracing();
+  for (auto _ : state) {
+    CROWD_SPAN("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  obs::StopTracing();
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace crowd

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/m_worker.h"
+#include "obs/histogram.h"
 #include "rng/random.h"
 #include "sim/simulator.h"
 #include "util/stopwatch.h"
@@ -66,15 +67,18 @@ bool BitIdentical(const core::MWorkerResult& a,
   return true;
 }
 
+/// Times `reps` runs; the per-rep wall clocks land in `*hist`
+/// (seconds, ns resolution) and the best rep is returned in ms.
 double TimedRun(const data::ResponseMatrix& responses,
                 const core::BinaryOptions& options, int reps,
-                core::MWorkerResult* out) {
+                core::MWorkerResult* out, obs::Histogram* hist) {
   double best_ms = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     Stopwatch timer;
     auto result = core::MWorkerEvaluate(responses, options);
-    double ms = timer.ElapsedMillis();
+    double ms = static_cast<double>(timer.ElapsedNanos()) * 1e-6;
     result.status().AbortIfNotOk();
+    hist->Record(ms * 1e-3);
     best_ms = std::min(best_ms, ms);
     if (rep == 0) *out = std::move(*result);
   }
@@ -94,8 +98,9 @@ int Main() {
 
   std::printf("# MWorkerEvaluate serial vs parallel "
               "(hardware cores: %zu)\n", hw);
-  std::printf("%-8s %-8s %-8s %-10s %-8s %s\n", "workers", "tasks",
-              "threads", "best_ms", "speedup", "identical");
+  std::printf("%-8s %-8s %-8s %-10s %-10s %-8s %s\n", "workers",
+              "tasks", "threads", "best_ms", "p50_ms", "speedup",
+              "identical");
   bool all_identical = true;
   for (const Case& c : cases) {
     auto sim = MakeBinary(c);
@@ -104,19 +109,25 @@ int Main() {
 
     core::MWorkerResult serial;
     options.num_threads = 1;
-    double serial_ms = TimedRun(responses, options, c.reps, &serial);
-    std::printf("%-8zu %-8zu %-8d %-10.3f %-8.2f %s\n", c.workers,
-                c.tasks, 1, serial_ms, 1.0, "yes");
+    obs::Histogram serial_hist(obs::Histogram::LatencyBounds());
+    double serial_ms =
+        TimedRun(responses, options, c.reps, &serial, &serial_hist);
+    std::printf("%-8zu %-8zu %-8d %-10.3f %-10.3f %-8.2f %s\n",
+                c.workers, c.tasks, 1, serial_ms,
+                serial_hist.Quantile(0.5) * 1e3, 1.0, "yes");
 
     for (size_t threads : thread_counts) {
       if (threads == 1) continue;
       core::MWorkerResult parallel;
       options.num_threads = threads;
-      double parallel_ms = TimedRun(responses, options, c.reps, &parallel);
+      obs::Histogram parallel_hist(obs::Histogram::LatencyBounds());
+      double parallel_ms = TimedRun(responses, options, c.reps,
+                                    &parallel, &parallel_hist);
       bool identical = BitIdentical(serial, parallel);
       all_identical = all_identical && identical;
-      std::printf("%-8zu %-8zu %-8zu %-10.3f %-8.2f %s\n", c.workers,
-                  c.tasks, threads, parallel_ms,
+      std::printf("%-8zu %-8zu %-8zu %-10.3f %-10.3f %-8.2f %s\n",
+                  c.workers, c.tasks, threads, parallel_ms,
+                  parallel_hist.Quantile(0.5) * 1e3,
                   serial_ms / parallel_ms, identical ? "yes" : "NO");
     }
   }

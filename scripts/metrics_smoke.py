@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Black-box smoke test of the crowdevald METRICS endpoint.
+
+Starts the daemon on a unix socket, streams a little traffic, scrapes
+METRICS, and validates every line of the exposition:
+
+  * comment lines must be `# HELP <name> ...` / `# TYPE <name> <kind>`
+    (or the terminating `# EOF`),
+  * sample lines must be `name[{labels}] value` with a well-formed
+    metric name and a parseable float value,
+  * the reply must end with the `# EOF` terminator line,
+  * at least MIN_FAMILIES distinct families must be present, spanning
+    the core, server, and util modules.
+
+Exits non-zero (with the offending lines on stderr) on any violation.
+
+Usage: metrics_smoke.py /path/to/crowdevald
+"""
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+MIN_FAMILIES = 12
+REQUIRED_PREFIXES = ("crowdeval_core_", "crowdeval_server_",
+                     "crowdeval_util_")
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+COMMENT_RE = re.compile(
+    r"^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+|"
+    r"TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})? (?P<value>\S+)$")
+
+
+def recv_until_eof(sock):
+    data = b""
+    sock.settimeout(10.0)
+    while b"# EOF\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise RuntimeError("connection closed before # EOF")
+        data += chunk
+    return data.decode("utf-8")
+
+
+def roundtrip_line(sock, command):
+    sock.sendall(command.encode("utf-8") + b"\n")
+    data = b""
+    sock.settimeout(10.0)
+    while not data.endswith(b"\n"):
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise RuntimeError("connection closed mid-reply")
+        data += chunk
+    return data.decode("utf-8").rstrip("\n")
+
+
+def validate(text):
+    errors = []
+    families = set()
+    saw_eof = False
+    for line in text.splitlines():
+        if saw_eof:
+            errors.append("content after # EOF: %r" % line)
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not COMMENT_RE.match(line):
+                errors.append("malformed comment line: %r" % line)
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("malformed sample line: %r" % line)
+            continue
+        name = m.group("name")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            errors.append("non-numeric value: %r" % line)
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        families.add(family)
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+    if len(families) < MIN_FAMILIES:
+        errors.append("only %d metric families (< %d): %s" %
+                      (len(families), MIN_FAMILIES, sorted(families)))
+    for prefix in REQUIRED_PREFIXES:
+        if not any(f.startswith(prefix) for f in families):
+            errors.append("no family with prefix %s" % prefix)
+    return errors, families
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    tmpdir = tempfile.mkdtemp(prefix="crowdevald_smoke_")
+    sock_path = os.path.join(tmpdir, "sock")
+    daemon = subprocess.Popen(
+        [binary, "serve", "--socket=" + sock_path, "--workers=8",
+         "--tasks=40", "--threads=2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    try:
+        for _ in range(200):
+            if os.path.exists(sock_path):
+                break
+            if daemon.poll() is not None:
+                print("daemon exited during startup:\n%s" %
+                      daemon.stdout.read().decode("utf-8", "replace"),
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        else:
+            print("daemon never created %s" % sock_path, file=sys.stderr)
+            return 1
+
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(sock_path)
+        # Dense fill so every worker pair overlaps and EVAL_ALL reaches
+        # the core pipeline (sparse disjoint patterns evaluate nothing).
+        for w in range(8):
+            for t in range(40):
+                reply = roundtrip_line(
+                    sock, "RESP %d %d %d" % (w, t, (w * 7 + t * 13) % 2))
+                if not reply.startswith('{"ok":true'):
+                    print("RESP rejected: %s" % reply, file=sys.stderr)
+                    return 1
+        roundtrip_line(sock, "EVAL_ALL")
+
+        sock.sendall(b"METRICS\n")
+        text = recv_until_eof(sock)
+        sock.close()
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        daemon.wait(timeout=10)
+
+    errors, families = validate(text)
+    if errors:
+        for e in errors:
+            print("FAIL: %s" % e, file=sys.stderr)
+        return 1
+    print("ok: %d families, all exposition lines well-formed" %
+          len(families))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

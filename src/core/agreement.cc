@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace crowd::core {
 
 Result<PairAgreement> ComputePairAgreement(
@@ -15,6 +17,15 @@ Result<PairAgreement> ComputePairAgreement(
   double floor = 0.5 + min_agreement_margin;
   out.q = std::clamp(out.q_raw, floor, 1.0);
   out.clamped = out.q != out.q_raw;
+  if (out.clamped) {
+    // Hot path: count only the (rare) clamp events, no timing here.
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::Counter* const clamped = r->GetCounter(
+          "crowdeval_core_agreement_clamped_total",
+          "pair agreement rates clamped away from the 1/2 singularity");
+      clamped->Increment();
+    }
+  }
   return out;
 }
 

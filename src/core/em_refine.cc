@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/matrix_functions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace crowd::core {
@@ -35,6 +37,7 @@ Result<EmRefineResult> EmRefineFromCounts(
     const CountsTensor& counts, const std::array<linalg::Matrix, 3>& init_p,
     const linalg::Vector& init_selectivity,
     const EmRefineOptions& options) {
+  CROWD_SPAN("core.em_refine");
   const int k = counts.arity();
   for (const auto& m : init_p) {
     if (m.rows() != static_cast<size_t>(k) ||
@@ -135,6 +138,18 @@ Result<EmRefineResult> EmRefineFromCounts(
       model.converged = true;
       break;
     }
+  }
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::Counter* const runs = r->GetCounter(
+        "crowdeval_core_em_runs_total", "EM refinement invocations");
+    static obs::Counter* const iterations = r->GetCounter(
+        "crowdeval_core_em_iterations_total", "EM iterations executed");
+    static obs::Counter* const unconverged = r->GetCounter(
+        "crowdeval_core_em_unconverged_total",
+        "EM runs that hit max_iterations without converging");
+    runs->Increment();
+    iterations->Increment(static_cast<uint64_t>(model.iterations));
+    if (!model.converged) unconverged->Increment();
   }
   return model;
 }

@@ -6,7 +6,10 @@
 #include "core/three_worker.h"
 #include "core/triple_combiner.h"
 #include "core/triple_selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -15,6 +18,8 @@ namespace crowd::core {
 Result<WorkerAssessment> EvaluateWorker(const data::OverlapIndex& overlap,
                                         data::WorkerId worker,
                                         const BinaryOptions& options) {
+  CROWD_SPAN("core.evaluate_worker");
+  Stopwatch watch;
   std::vector<WorkerPair> pairs =
       options.pairing == PairingStrategy::kGreedy
           ? GreedyPairs(overlap, worker)
@@ -36,6 +41,12 @@ Result<WorkerAssessment> EvaluateWorker(const data::OverlapIndex& overlap,
       CROWD_LOG_DEBUG << "dropping triple (" << worker << ", " << j1
                       << ", " << j2
                       << "): " << triple.status().ToString();
+      if (obs::Registry* r = obs::MetricsRegistry()) {
+        static obs::Counter* const dropped = r->GetCounter(
+            "crowdeval_core_triples_dropped_total",
+            "candidate triples dropped during worker evaluation");
+        dropped->Increment();
+      }
       continue;
     }
     any_clamped = any_clamped || triple->any_clamped;
@@ -56,6 +67,13 @@ Result<WorkerAssessment> EvaluateWorker(const data::OverlapIndex& overlap,
   CROWD_ASSIGN_OR_RETURN(
       out.interval, stats::NormalInterval(combined.p, combined.deviation,
                                           options.confidence));
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::HistogramMetric* const latency = r->GetHistogram(
+        "crowdeval_core_worker_eval_seconds",
+        "wall time of one successful EvaluateWorker call",
+        obs::Histogram::LatencyBounds());
+    latency->Record(watch.ElapsedSeconds());
+  }
   return out;
 }
 

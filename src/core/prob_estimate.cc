@@ -7,11 +7,21 @@
 #include "linalg/eigen.h"
 #include "linalg/lu.h"
 #include "linalg/matrix_functions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace crowd::core {
 
 namespace {
+
+/// Counts an estimator event on the named counter (no-op until
+/// EnableMetrics). Names are registered lazily per call site.
+void CountEvent(const char* name, const char* help, uint64_t delta = 1) {
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    r->GetCounter(name, help)->Increment(delta);
+  }
+}
 
 // Rows of S^{1/2} P_i have positive sums (= sqrt(S_r)); eigenvector
 // sign ambiguity can negate whole rows, so flip any negative-sum row.
@@ -100,6 +110,9 @@ Result<ResponseFrequencies> ComputeResponseFrequencies(
 
 Result<ProbEstimateResult> ProbEstimate(const CountsTensor& counts,
                                         const ProbEstimateOptions& options) {
+  CROWD_SPAN("core.prob_estimate");
+  CountEvent("crowdeval_core_probestimate_runs_total",
+             "spectral ProbEstimate invocations");
   const int k = counts.arity();
   CROWD_ASSIGN_OR_RETURN(ResponseFrequencies freq,
                          ComputeResponseFrequencies(counts));
@@ -187,11 +200,17 @@ Result<ProbEstimateResult> ProbEstimate(const CountsTensor& counts,
   int used = 0;
   for (const auto& r_cond : conditionals) {
     auto v1_slice = try_slice(r_cond, options.min_eigengap_ratio);
-    if (!v1_slice.has_value()) continue;
+    if (!v1_slice.has_value()) {
+      CountEvent("crowdeval_core_probestimate_slices_skipped_total",
+                 "conditional slices skipped as spectrally degenerate");
+      continue;
+    }
     out.v1 += *v1_slice;
     ++used;
   }
   if (used == 0) {
+    CountEvent("crowdeval_core_probestimate_mixed_fallback_total",
+               "runs that resorted to the mixed-slice fallback");
     // Mixed-slice fallback: sum_j theta_j R_cond_j has eigenvalues
     // sum_j theta_j P3(z, j) — distinct for generic theta even when
     // every individual slice is degenerate. Try a few deterministic
@@ -217,6 +236,8 @@ Result<ProbEstimateResult> ProbEstimate(const CountsTensor& counts,
     }
   }
   if (used == 0) {
+    CountEvent("crowdeval_core_probestimate_failures_total",
+               "runs where no usable rotation was recovered");
     return Status::NumericalError(
         "no conditioning response of worker 3 yielded a usable rotation "
         "(all eigen-decompositions degenerate, mixed-slice fallback "

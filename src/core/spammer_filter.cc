@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "baselines/majority_vote.h"
+#include "obs/metrics.h"
 
 namespace crowd::core {
 
@@ -29,6 +30,16 @@ Result<SpammerFilterResult> FilterSpammers(
   }
   CROWD_ASSIGN_OR_RETURN(out.filtered,
                          responses.SelectWorkers(out.kept));
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::Counter* const runs = r->GetCounter(
+        "crowdeval_core_spammer_filter_runs_total",
+        "FilterSpammers invocations");
+    static obs::Counter* const removed = r->GetCounter(
+        "crowdeval_core_spammers_filtered_total",
+        "workers removed by the spammer filter");
+    runs->Increment();
+    removed->Increment(out.removed.size());
+  }
   return out;
 }
 

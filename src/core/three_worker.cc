@@ -1,6 +1,7 @@
 #include "core/three_worker.h"
 
 #include "core/triangulation.h"
+#include "obs/metrics.h"
 #include "stats/delta_method.h"
 #include "util/string_util.h"
 
@@ -91,6 +92,12 @@ Result<TripleEstimate> EvaluateTriple(const data::OverlapIndex& overlap,
     linalg::Matrix full = TripleCovariance(t);
     for (size_t d = 0; d < 3; ++d) diag_only(d, d) = full(d, d);
     deviation = stats::DeltaDeviation(gradient, diag_only);
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::Counter* const fallbacks = r->GetCounter(
+          "crowdeval_core_triple_cov_diag_fallback_total",
+          "triples whose covariance fell back to the diagonal");
+      fallbacks->Increment();
+    }
   }
   CROWD_ASSIGN_OR_RETURN(t.deviation, std::move(deviation));
   return t;

@@ -4,6 +4,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/lu.h"
+#include "obs/metrics.h"
 #include "stats/delta_method.h"
 #include "util/string_util.h"
 
@@ -162,6 +163,14 @@ Result<CombinedEstimate> CombineTriples(
         MinimumVarianceWeights(cov, options.covariance_ridge);
     out.weights = std::move(solution.weights);
     out.used_fallback_weights = solution.used_fallback;
+    if (solution.used_fallback) {
+      if (obs::Registry* r = obs::MetricsRegistry()) {
+        static obs::Counter* const fallbacks = r->GetCounter(
+            "crowdeval_core_weight_fallback_total",
+            "combines that fell back to uniform weights");
+        fallbacks->Increment();
+      }
+    }
   } else {
     out.weights.assign(triples.size(),
                        1.0 / static_cast<double>(triples.size()));
@@ -180,6 +189,12 @@ Result<CombinedEstimate> CombineTriples(
       diag_variance += out.weights[k] * out.weights[k] * cov(k, k);
     }
     variance = diag_variance;
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::Counter* const fallbacks = r->GetCounter(
+          "crowdeval_core_combine_diag_fallback_total",
+          "combines whose variance fell back to the diagonal");
+      fallbacks->Increment();
+    }
   }
   CROWD_ASSIGN_OR_RETURN(double var_value, std::move(variance));
   out.deviation = std::sqrt(var_value);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace crowd::core {
 
 namespace {
@@ -24,6 +26,12 @@ std::vector<WorkerPair> PairInOrder(const data::OverlapIndex& overlap,
     }
     if (partner_pos == 0) {
       // Head cannot be paired with anyone; drop it.
+      if (obs::Registry* r = obs::MetricsRegistry()) {
+        static obs::Counter* const dropped = r->GetCounter(
+            "crowdeval_core_pairing_unpairable_total",
+            "candidate peers dropped because no partner shares a task");
+        dropped->Increment();
+      }
       candidates.erase(candidates.begin());
       continue;
     }

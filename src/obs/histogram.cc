@@ -1,0 +1,98 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace crowd::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> Histogram::LatencyBounds() {
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+          5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+          0.25, 0.5,    1.0,  2.5,  5.0,  10.0};
+}
+
+std::vector<double> Histogram::ByteBounds() {
+  return ExponentialBounds(64.0, 4.0, 13);  // 64B .. 1GB
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start,
+                                                 double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // First bound >= value: bucket upper bounds are inclusive, matching
+  // Prometheus `le` semantics.
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Record(double value) {
+  ++counts_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::MergeBucket(size_t bucket, uint64_t count) {
+  if (bucket >= counts_.size()) return;
+  counts_[bucket] += count;
+  count_ += count;
+}
+
+void Histogram::MergeSum(double sum) { sum_ += sum; }
+
+void Histogram::MergeMinMax(double min_seen, double max_seen) {
+  min_ = std::min(min_, min_seen);
+  max_ = std::max(max_, max_seen);
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count]; the bucket holding it gets interpolated.
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Bucket edges: lower edge of bucket 0 is min(); the overflow
+    // bucket's upper edge is max().
+    double lo = b == 0 ? min() : bounds_[b - 1];
+    double hi = b < bounds_.size() ? bounds_[b] : max();
+    lo = std::clamp(lo, min(), max());
+    hi = std::clamp(hi, min(), max());
+    const double fraction =
+        (rank - before) / static_cast<double>(counts_[b]);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return max();
+}
+
+}  // namespace crowd::obs

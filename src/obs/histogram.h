@@ -1,0 +1,83 @@
+// Fixed-bucket histogram value type — the single quantile
+// implementation shared by the metrics registry (src/obs/metrics.h),
+// the daemon's METRICS export, and the benchmarks, so every layer
+// reports identical p50/p90/p99 math.
+//
+// Buckets are defined by an ascending vector of upper bounds; a value
+// lands in the first bucket whose bound is >= value, with one implicit
+// overflow bucket (+Inf) at the end. Quantiles are extracted by linear
+// interpolation inside the covering bucket, clamped to the observed
+// [min, max] so single-sample and narrow distributions do not report
+// values outside what was recorded.
+//
+// This type is NOT thread-safe; the registry's HistogramMetric layers
+// sharded atomics on top and aggregates into a plain Histogram on
+// scrape. crowd_obs sits below crowd_util in the dependency order and
+// must stay free of any crowd_* include.
+
+#ifndef CROWD_OBS_HISTOGRAM_H_
+#define CROWD_OBS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crowd::obs {
+
+/// \brief A fixed-bucket histogram with quantile extraction.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending bucket upper bounds; an
+  /// implicit +Inf bucket is appended. An empty vector yields a
+  /// single-bucket (+Inf only) histogram.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default buckets for latencies in seconds: 1-2.5-5 decades from
+  /// 1us to 10s (22 finite bounds).
+  static std::vector<double> LatencyBounds();
+  /// Default buckets for sizes in bytes: powers of 4 from 64B to 1GB.
+  static std::vector<double> ByteBounds();
+  /// `count` bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+
+  void Record(double value);
+  /// Shard-aggregation primitives (used by the registry's
+  /// HistogramMetric::Snapshot): bulk-merge `count` observations into
+  /// `bucket`; their sum and observed range are merged separately.
+  void MergeBucket(size_t bucket, uint64_t count);
+  void MergeSum(double sum);
+  void MergeMinMax(double min_seen, double max_seen);
+
+  /// Index of the bucket covering `value`.
+  size_t BucketFor(double value) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket count including the +Inf overflow bucket.
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t bucket) const { return counts_[bucket]; }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;  ///< Smallest recorded value (0 when empty).
+  double max() const;  ///< Largest recorded value (0 when empty).
+  double mean() const;
+
+  /// The q-quantile (q in [0, 1]) by linear interpolation within the
+  /// covering bucket, clamped to the observed [min, max]. Returns 0
+  /// for an empty histogram. Quantiles of data in the overflow bucket
+  /// saturate at max().
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;   // finite upper bounds, ascending
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 buckets
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crowd::obs
+
+#endif  // CROWD_OBS_HISTOGRAM_H_

@@ -1,0 +1,351 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+
+namespace crowd::obs {
+
+namespace {
+
+/// printf into std::string without pulling in crowd_util.
+template <typename... Args>
+std::string Format(const char* fmt, Args... args) {
+  char buffer[256];
+  int n = std::snprintf(buffer, sizeof(buffer), fmt, args...);
+  if (n < 0) return "";
+  if (static_cast<size_t>(n) < sizeof(buffer)) return std::string(buffer, n);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (v != v) return "NaN";
+  if (v == std::numeric_limits<double>::infinity()) return "+Inf";
+  if (v == -std::numeric_limits<double>::infinity()) return "-Inf";
+  return Format("%.17g", v);
+}
+
+/// Shortest %g rendering for bucket bounds (Prometheus "le" values).
+std::string FormatBound(double v) { return Format("%g", v); }
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "[FATAL obs/metrics] %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+namespace internal {
+
+void AtomicDoubleAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  shards_.reserve(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void HistogramMetric::Record(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = *shards_[ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicDoubleAdd(&shard.sum, value);
+  internal::AtomicDoubleMin(&min_, value);
+  internal::AtomicDoubleMax(&max_, value);
+}
+
+Histogram HistogramMetric::Snapshot() const {
+  Histogram out(bounds_);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < shard->buckets.size(); ++b) {
+      out.MergeBucket(b,
+                      shard->buckets[b].load(std::memory_order_relaxed));
+    }
+    out.MergeSum(shard->sum.load(std::memory_order_relaxed));
+  }
+  if (out.count() > 0) {
+    out.MergeMinMax(min_.load(std::memory_order_relaxed),
+                    max_.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+namespace {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct Series {
+  std::string labels;  // rendered: `key="value"` or empty
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<HistogramMetric> histogram;
+};
+
+struct Family {
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  // label-rendering -> series; std::map keeps the export ordering
+  // deterministic.
+  std::map<std::string, Series> series;
+};
+
+std::string RenderLabels(const std::string& key, const std::string& value) {
+  if (key.empty()) return "";
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') escaped.push_back('\\');
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped.push_back(c);
+  }
+  return key + "=\"" + escaped + "\"";
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Family> families;  // guarded by mu
+
+  Series* GetSeries(const std::string& name, MetricKind kind,
+                    const std::string& help, const std::string& label_key,
+                    const std::string& label_value) {
+    std::lock_guard<std::mutex> lock(mu);
+    Family& family = families[name];
+    if (family.series.empty()) {
+      family.kind = kind;
+      family.help = help;
+    } else if (family.kind != kind) {
+      Die("metric '" + name + "' registered as " +
+          KindName(family.kind) + " and requested as " + KindName(kind));
+    }
+    return &family.series[RenderLabels(label_key, label_value)];
+  }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help,
+                              const std::string& label_key,
+                              const std::string& label_value) {
+  Series* series = impl_->GetSeries(name, MetricKind::kCounter, help,
+                                    label_key, label_value);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!series->counter) series->counter = std::make_unique<Counter>();
+  return series->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const std::string& label_key,
+                          const std::string& label_value) {
+  Series* series = impl_->GetSeries(name, MetricKind::kGauge, help,
+                                    label_key, label_value);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!series->gauge) series->gauge = std::make_unique<Gauge>();
+  return series->gauge.get();
+}
+
+HistogramMetric* Registry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        std::vector<double> bounds,
+                                        const std::string& label_key,
+                                        const std::string& label_value) {
+  Series* series = impl_->GetSeries(name, MetricKind::kHistogram, help,
+                                    label_key, label_value);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!series->histogram) {
+    series->histogram = std::make_unique<HistogramMetric>(std::move(bounds));
+  }
+  return series->histogram.get();
+}
+
+std::string Registry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, family] : impl_->families) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + std::string(KindName(family.kind)) +
+           "\n";
+    for (const auto& [labels, series] : family.series) {
+      const std::string suffix =
+          labels.empty() ? "" : "{" + labels + "}";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += name + suffix +
+                 Format(" %llu\n",
+                        static_cast<unsigned long long>(
+                            series.counter->Value()));
+          break;
+        case MetricKind::kGauge:
+          out += name + suffix +
+                 Format(" %lld\n",
+                        static_cast<long long>(series.gauge->Value()));
+          break;
+        case MetricKind::kHistogram: {
+          Histogram h = series.histogram->Snapshot();
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < h.num_buckets(); ++b) {
+            cumulative += h.bucket_count(b);
+            const std::string le =
+                b < h.bounds().size() ? FormatBound(h.bounds()[b])
+                                      : std::string("+Inf");
+            const std::string bucket_labels =
+                labels.empty() ? "le=\"" + le + "\""
+                               : labels + ",le=\"" + le + "\"";
+            out += name + "_bucket{" + bucket_labels +
+                   Format("} %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+          }
+          out += name + "_sum" + suffix + " " + FormatDouble(h.sum()) +
+                 "\n";
+          out += name + "_count" + suffix +
+                 Format(" %llu\n",
+                        static_cast<unsigned long long>(h.count()));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::SummaryTable() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, family] : impl_->families) {
+    for (const auto& [labels, series] : family.series) {
+      const std::string id =
+          labels.empty() ? name : name + "{" + labels + "}";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += Format("%-64s %llu\n", id.c_str(),
+                        static_cast<unsigned long long>(
+                            series.counter->Value()));
+          break;
+        case MetricKind::kGauge:
+          out += Format("%-64s %lld\n", id.c_str(),
+                        static_cast<long long>(series.gauge->Value()));
+          break;
+        case MetricKind::kHistogram: {
+          Histogram h = series.histogram->Snapshot();
+          out += Format(
+              "%-64s count %llu  mean %.6g  p50 %.6g  p90 %.6g  "
+              "p99 %.6g  max %.6g\n",
+              id.c_str(), static_cast<unsigned long long>(h.count()),
+              h.mean(), h.Quantile(0.5), h.Quantile(0.9),
+              h.Quantile(0.99), h.max());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t Registry::NumFamilies() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->families.size();
+}
+
+// ---------------------------------------------------------------------
+// Process-global default registry and the library-instrumentation gate.
+
+namespace {
+
+std::atomic<Registry*>& EnabledStore() {
+  static std::atomic<Registry*> enabled{nullptr};
+  return enabled;
+}
+
+}  // namespace
+
+Registry& DefaultRegistry() {
+  // Leaked on purpose: instrumented code caches metric pointers in
+  // function-local statics and may run during late shutdown.
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Registry* MetricsRegistry() {
+  return EnabledStore().load(std::memory_order_acquire);
+}
+
+void EnableMetrics() {
+  EnabledStore().store(&DefaultRegistry(), std::memory_order_release);
+}
+
+void DisableMetrics() {
+  EnabledStore().store(nullptr, std::memory_order_release);
+}
+
+bool MetricsEnabled() { return MetricsRegistry() != nullptr; }
+
+}  // namespace crowd::obs

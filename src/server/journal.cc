@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace crowd::server {
@@ -99,6 +102,18 @@ Result<JournalRecovered> Journal::Open(const std::string& path) {
   if (offset < size) {
     out.truncated_bytes = size - offset;
     CROWD_RETURN_NOT_OK(journal.file_.Truncate(offset));
+    if (obs::Registry* r = obs::MetricsRegistry()) {
+      static obs::Counter* const truncations = r->GetCounter(
+          "crowdeval_journal_torn_truncations_total",
+          "torn journal tails truncated during recovery");
+      truncations->Increment();
+    }
+  }
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::Counter* const replayed = r->GetCounter(
+        "crowdeval_journal_replayed_records_total",
+        "records replayed from the journal during recovery");
+    replayed->Increment(out.records.size());
   }
   journal.file_bytes_ = offset;
   return out;
@@ -111,11 +126,34 @@ Status Journal::Append(const JournalRecord& record) {
         static_cast<unsigned long long>(record.seq),
         static_cast<unsigned long long>(next_seq())));
   }
+  CROWD_SPAN("journal.append");
   std::vector<uint8_t> bytes = EncodeRecord(record);
   CROWD_RETURN_NOT_OK(file_.WriteAll(bytes.data(), bytes.size()));
   last_seq_ = record.seq;
   file_bytes_ += bytes.size();
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::Counter* const appends = r->GetCounter(
+        "crowdeval_journal_appends_total", "journal records appended");
+    static obs::Counter* const written = r->GetCounter(
+        "crowdeval_journal_bytes_written_total",
+        "bytes appended to the journal");
+    appends->Increment();
+    written->Increment(bytes.size());
+  }
   return Status::OK();
+}
+
+Status Journal::Sync() {
+  CROWD_SPAN("journal.sync");
+  Stopwatch watch;
+  Status status = file_.Sync();
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::HistogramMetric* const latency = r->GetHistogram(
+        "crowdeval_journal_fsync_seconds", "journal fsync(2) wall time",
+        obs::Histogram::LatencyBounds());
+    latency->Record(watch.ElapsedSeconds());
+  }
+  return status;
 }
 
 }  // namespace crowd::server

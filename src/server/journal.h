@@ -84,7 +84,7 @@ class Journal {
 
   /// fsync(2) — required only for durability against power loss;
   /// process crashes (SIGKILL) never lose an acknowledged append.
-  Status Sync() { return file_.Sync(); }
+  Status Sync();
 
   const JournalHeader& header() const { return header_; }
   /// Sequence number the next Append must carry.

@@ -71,6 +71,7 @@ Result<Command> ParseCommand(std::string_view line) {
       {"EVAL_ALL", CommandType::kEvalAll},
       {"SPAMMERS", CommandType::kSpammers},
       {"STATS", CommandType::kStats},
+      {"METRICS", CommandType::kMetrics},
       {"SNAPSHOT", CommandType::kSnapshot},
       {"QUIT", CommandType::kQuit},
   };

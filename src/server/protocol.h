@@ -11,6 +11,7 @@
 //            | "EVAL_ALL"                 -- assess every worker
 //            | "SPAMMERS"                 -- majority-vote spam filter
 //            | "STATS"                    -- service counters
+//            | "METRICS"                  -- Prometheus text exposition
 //            | "SNAPSHOT"                 -- force snapshot + compaction
 //            | "QUIT"                     -- close the connection
 //
@@ -19,6 +20,10 @@
 // Doubles are serialized with enough digits (%.17g) to round-trip
 // bit-exactly, which is what lets tests compare daemon output against
 // a batch run for equality.
+//
+// METRICS is the one exception to one-line replies: it returns the
+// Prometheus text exposition (many lines) terminated by a line reading
+// exactly `# EOF`, so line-oriented clients know where the scrape ends.
 
 #ifndef CROWD_SERVER_PROTOCOL_H_
 #define CROWD_SERVER_PROTOCOL_H_
@@ -42,6 +47,7 @@ enum class CommandType {
   kEvalAll,
   kSpammers,
   kStats,
+  kMetrics,
   kSnapshot,
   kQuit,
 };

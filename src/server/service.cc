@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/trace.h"
 #include "server/snapshot.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -20,6 +21,48 @@ std::string JournalPath(const std::string& dir) {
 }
 
 }  // namespace
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  counters_.ingested = metrics_.GetCounter(
+      "crowdeval_server_responses_ingested_total",
+      "accepted RESP commands (including overwrites)");
+  counters_.noop =
+      metrics_.GetCounter("crowdeval_server_responses_noop_total",
+                          "identical RESP re-submissions");
+  counters_.rejected =
+      metrics_.GetCounter("crowdeval_server_responses_rejected_total",
+                          "RESP commands rejected as out of range");
+  counters_.cache_hits =
+      metrics_.GetCounter("crowdeval_server_eval_cache_hits_total",
+                          "worker assessments served from cache");
+  counters_.cache_misses =
+      metrics_.GetCounter("crowdeval_server_eval_cache_misses_total",
+                          "worker assessments recomputed");
+  counters_.eval_all_runs = metrics_.GetCounter(
+      "crowdeval_server_eval_all_runs_total", "EVAL_ALL commands run");
+  counters_.eval_seconds = metrics_.GetHistogram(
+      "crowdeval_server_eval_seconds",
+      "wall time of EVAL and EVAL_ALL evaluator calls",
+      obs::Histogram::LatencyBounds());
+  counters_.snapshots_written =
+      metrics_.GetCounter("crowdeval_server_snapshots_written_total",
+                          "snapshots written by this service");
+  counters_.recovered_records = metrics_.GetCounter(
+      "crowdeval_server_recovered_records_total",
+      "journal records replayed during recovery");
+  counters_.recovery_truncated_bytes = metrics_.GetCounter(
+      "crowdeval_server_recovery_truncated_bytes_total",
+      "torn-tail bytes dropped during recovery");
+  counters_.journal_bytes =
+      metrics_.GetGauge("crowdeval_server_journal_file_bytes",
+                        "current journal file size");
+  counters_.journal_records =
+      metrics_.GetGauge("crowdeval_server_journal_file_records",
+                        "records in the current journal file");
+  counters_.snapshot_seq =
+      metrics_.GetGauge("crowdeval_server_snapshot_seq",
+                        "sequence covered by the latest snapshot");
+}
 
 Result<std::unique_ptr<Service>> Service::Open(ServiceOptions options) {
   std::unique_ptr<Service> service(new Service(std::move(options)));
@@ -66,7 +109,8 @@ Status Service::Recover() {
                              Journal::Open(JournalPath(dir)));
       journal_header = recovered.header;
       tail = std::move(recovered.records);
-      stats_.recovery_truncated_bytes = recovered.truncated_bytes;
+      counters_.recovery_truncated_bytes->Increment(
+          recovered.truncated_bytes);
       if (recovered.truncated_bytes > 0) {
         CROWD_LOG_WARNING << "journal: dropped torn tail of "
                           << recovered.truncated_bytes << " bytes";
@@ -136,7 +180,8 @@ Status Service::Recover() {
       }
     }
     last_seq_ = snapshot->applied_seq;
-    stats_.snapshot_seq = snapshot->applied_seq;
+    counters_.snapshot_seq->Set(
+        static_cast<int64_t>(snapshot->applied_seq));
   }
 
   // 2. Journal tail. Records at or below the snapshot's seq are
@@ -159,10 +204,12 @@ Status Service::Recover() {
                   "replaying journal seq %llu",
                   static_cast<unsigned long long>(record.seq))));
       last_seq_ = record.seq;
-      ++stats_.recovered_records;
+      counters_.recovered_records->Increment();
     }
-    stats_.journal_bytes = journal_->file_bytes();
-    stats_.journal_records = journal_->record_count();
+    counters_.journal_bytes->Set(
+        static_cast<int64_t>(journal_->file_bytes()));
+    counters_.journal_records->Set(
+        static_cast<int64_t>(journal_->record_count()));
   } else if (!dir.empty()) {
     // Fresh directory (or snapshot without a journal): start a new
     // journal continuing at the recovered seq.
@@ -174,7 +221,8 @@ Status Service::Recover() {
     CROWD_ASSIGN_OR_RETURN(Journal journal,
                            Journal::Create(JournalPath(dir), header));
     journal_.emplace(std::move(journal));
-    stats_.journal_bytes = journal_->file_bytes();
+    counters_.journal_bytes->Set(
+        static_cast<int64_t>(journal_->file_bytes()));
   }
   return Status::OK();
 }
@@ -198,11 +246,11 @@ Status Service::Ingest(data::WorkerId worker, data::TaskId task,
   bool changed = false;
   Status st = Apply(worker, task, value, &changed);
   if (!st.ok()) {
-    ++stats_.responses_rejected;
+    counters_.rejected->Increment();
     return st;
   }
   if (!changed) {
-    ++stats_.responses_noop;
+    counters_.noop->Increment();
     return Status::OK();
   }
   const uint64_t seq = last_seq_ + 1;
@@ -212,13 +260,16 @@ Status Service::Ingest(data::WorkerId worker, data::TaskId task,
     if (options_.fsync_each_append) {
       CROWD_RETURN_NOT_OK(journal_->Sync());
     }
-    stats_.journal_bytes = journal_->file_bytes();
-    stats_.journal_records = journal_->record_count();
+    counters_.journal_bytes->Set(
+        static_cast<int64_t>(journal_->file_bytes()));
+    counters_.journal_records->Set(
+        static_cast<int64_t>(journal_->record_count()));
   }
   last_seq_ = seq;
-  ++stats_.responses_ingested;
+  counters_.ingested->Increment();
   if (options_.snapshot_every > 0 && journal_.has_value() &&
-      last_seq_ - stats_.snapshot_seq >= options_.snapshot_every) {
+      last_seq_ - static_cast<uint64_t>(counters_.snapshot_seq->Value()) >=
+          options_.snapshot_every) {
     auto snap = TakeSnapshotLocked();
     if (!snap.ok()) {
       // The response itself is durable in the journal; a failed
@@ -234,28 +285,28 @@ Result<core::WorkerAssessment> Service::Evaluate(data::WorkerId worker) {
   const bool cached = evaluator_->IsCached(worker);
   Stopwatch timer;
   Result<core::WorkerAssessment> result = evaluator_->Evaluate(worker);
-  const double micros = timer.ElapsedSeconds() * 1e6;
+  const double seconds = timer.ElapsedSeconds();
   if (cached) {
-    ++stats_.eval_cache_hits;
+    counters_.cache_hits->Increment();
   } else {
-    ++stats_.eval_cache_misses;
+    counters_.cache_misses->Increment();
   }
-  stats_.eval_micros_total += micros;
-  stats_.last_eval_micros = micros;
+  counters_.eval_seconds->Record(seconds);
+  last_eval_micros_.store(seconds * 1e6, std::memory_order_relaxed);
   return result;
 }
 
 core::MWorkerResult Service::EvaluateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   const size_t dirty = evaluator_->DirtyWorkerCount();
-  stats_.eval_cache_misses += dirty;
-  stats_.eval_cache_hits += num_workers() - dirty;
+  counters_.cache_misses->Increment(dirty);
+  counters_.cache_hits->Increment(num_workers() - dirty);
   Stopwatch timer;
   core::MWorkerResult result = evaluator_->EvaluateAll();
-  const double micros = timer.ElapsedSeconds() * 1e6;
-  ++stats_.eval_all_runs;
-  stats_.eval_micros_total += micros;
-  stats_.last_eval_micros = micros;
+  const double seconds = timer.ElapsedSeconds();
+  counters_.eval_all_runs->Increment();
+  counters_.eval_seconds->Record(seconds);
+  last_eval_micros_.store(seconds * 1e6, std::memory_order_relaxed);
   return result;
 }
 
@@ -290,16 +341,53 @@ Result<uint64_t> Service::TakeSnapshotLocked() {
   journal_.emplace(std::move(compacted));
   CROWD_RETURN_NOT_OK(
       RemoveSnapshotsBefore(options_.data_dir, last_seq_));
-  stats_.snapshot_seq = last_seq_;
-  ++stats_.snapshots_written;
-  stats_.journal_bytes = journal_->file_bytes();
-  stats_.journal_records = 0;
+  counters_.snapshot_seq->Set(static_cast<int64_t>(last_seq_));
+  counters_.snapshots_written->Increment();
+  counters_.journal_bytes->Set(
+      static_cast<int64_t>(journal_->file_bytes()));
+  counters_.journal_records->Set(0);
+  if (!options_.trace_out.empty() && obs::TracingEnabled()) {
+    if (!obs::WriteChromeTrace(options_.trace_out)) {
+      CROWD_LOG_WARNING << "failed to write trace to "
+                        << options_.trace_out;
+    }
+  }
   return last_seq_;
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats out;
+  out.responses_ingested = counters_.ingested->Value();
+  out.responses_noop = counters_.noop->Value();
+  out.responses_rejected = counters_.rejected->Value();
+  out.eval_cache_hits = counters_.cache_hits->Value();
+  out.eval_cache_misses = counters_.cache_misses->Value();
+  out.eval_all_runs = counters_.eval_all_runs->Value();
+  out.eval_micros_total = counters_.eval_seconds->Snapshot().sum() * 1e6;
+  out.last_eval_micros = last_eval_micros_.load(std::memory_order_relaxed);
+  out.journal_bytes =
+      static_cast<uint64_t>(counters_.journal_bytes->Value());
+  out.journal_records =
+      static_cast<uint64_t>(counters_.journal_records->Value());
+  out.snapshots_written = counters_.snapshots_written->Value();
+  out.snapshot_seq = static_cast<uint64_t>(counters_.snapshot_seq->Value());
+  out.recovered_records = counters_.recovered_records->Value();
+  out.recovery_truncated_bytes =
+      counters_.recovery_truncated_bytes->Value();
+  return out;
+}
+
+std::string Service::MetricsExposition() const {
+  std::string out = metrics_.ExportPrometheus();
+  if (obs::Registry* global = obs::MetricsRegistry()) {
+    // The process-wide registry carries the library instrumentation
+    // (core estimator, thread pool, journal/snapshot I/O). Family
+    // names are disjoint by the crowdeval_server_ naming discipline,
+    // so concatenation stays a valid exposition.
+    out += global->ExportPrometheus();
+  }
+  out += "# EOF";
+  return out;
 }
 
 uint64_t Service::last_seq() const {
@@ -307,11 +395,52 @@ uint64_t Service::last_seq() const {
   return last_seq_;
 }
 
+namespace {
+
+const char* CommandName(CommandType type) {
+  switch (type) {
+    case CommandType::kResp:
+      return "RESP";
+    case CommandType::kEval:
+      return "EVAL";
+    case CommandType::kEvalAll:
+      return "EVAL_ALL";
+    case CommandType::kSpammers:
+      return "SPAMMERS";
+    case CommandType::kStats:
+      return "STATS";
+    case CommandType::kMetrics:
+      return "METRICS";
+    case CommandType::kSnapshot:
+      return "SNAPSHOT";
+    case CommandType::kQuit:
+      return "QUIT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+void Service::RecordCommand(std::string_view verb, double seconds) {
+  // One labeled series per verb; GetHistogram returns the existing
+  // series after the first call, so the per-command cost is one map
+  // lookup under the registry mutex — negligible next to command work.
+  metrics_
+      .GetHistogram("crowdeval_server_command_seconds",
+                    "wall time of one protocol command",
+                    obs::Histogram::LatencyBounds(), "command",
+                    std::string(verb))
+      ->Record(seconds);
+}
+
 std::string Service::ExecuteLine(std::string_view line, bool* quit) {
   if (quit != nullptr) *quit = false;
   Result<Command> cmd = ParseCommand(line);
   if (!cmd.ok()) return ErrorJson(cmd.status());
-  return HandleCommand(*cmd, quit);
+  Stopwatch timer;
+  std::string reply = HandleCommand(*cmd, quit);
+  RecordCommand(CommandName(cmd->type), timer.ElapsedSeconds());
+  return reply;
 }
 
 std::string Service::HandleCommand(const Command& cmd, bool* quit) {
@@ -349,6 +478,7 @@ std::string Service::HandleCommand(const Command& cmd, bool* quit) {
                        Join(docs, ",").c_str());
     }
     case CommandType::kStats: {
+      const ServiceStats snapshot = stats();
       std::lock_guard<std::mutex> lock(mu_);
       return StrFormat(
           "{\"ok\":true,\"stats\":{"
@@ -369,22 +499,24 @@ std::string Service::HandleCommand(const Command& cmd, bool* quit) {
           evaluator_->TotalResponses(),
           static_cast<unsigned long long>(last_seq_),
           evaluator_->DirtyWorkerCount(),
-          static_cast<unsigned long long>(stats_.responses_ingested),
-          static_cast<unsigned long long>(stats_.responses_noop),
-          static_cast<unsigned long long>(stats_.responses_rejected),
-          static_cast<unsigned long long>(stats_.eval_cache_hits),
-          static_cast<unsigned long long>(stats_.eval_cache_misses),
-          static_cast<unsigned long long>(stats_.eval_all_runs),
-          JsonDouble(stats_.eval_micros_total).c_str(),
-          JsonDouble(stats_.last_eval_micros).c_str(),
-          static_cast<unsigned long long>(stats_.journal_bytes),
-          static_cast<unsigned long long>(stats_.journal_records),
-          static_cast<unsigned long long>(stats_.snapshots_written),
-          static_cast<unsigned long long>(stats_.snapshot_seq),
-          static_cast<unsigned long long>(stats_.recovered_records),
+          static_cast<unsigned long long>(snapshot.responses_ingested),
+          static_cast<unsigned long long>(snapshot.responses_noop),
+          static_cast<unsigned long long>(snapshot.responses_rejected),
+          static_cast<unsigned long long>(snapshot.eval_cache_hits),
+          static_cast<unsigned long long>(snapshot.eval_cache_misses),
+          static_cast<unsigned long long>(snapshot.eval_all_runs),
+          JsonDouble(snapshot.eval_micros_total).c_str(),
+          JsonDouble(snapshot.last_eval_micros).c_str(),
+          static_cast<unsigned long long>(snapshot.journal_bytes),
+          static_cast<unsigned long long>(snapshot.journal_records),
+          static_cast<unsigned long long>(snapshot.snapshots_written),
+          static_cast<unsigned long long>(snapshot.snapshot_seq),
+          static_cast<unsigned long long>(snapshot.recovered_records),
           static_cast<unsigned long long>(
-              stats_.recovery_truncated_bytes));
+              snapshot.recovery_truncated_bytes));
     }
+    case CommandType::kMetrics:
+      return MetricsExposition();
     case CommandType::kSnapshot: {
       Result<uint64_t> seq = TakeSnapshot();
       if (!seq.ok()) return ErrorJson(seq.status());

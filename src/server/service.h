@@ -24,15 +24,18 @@
 #ifndef CROWD_SERVER_SERVICE_H_
 #define CROWD_SERVER_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/incremental.h"
 #include "core/spammer_filter.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "server/journal.h"
 #include "server/protocol.h"
 #include "util/result.h"
@@ -58,9 +61,15 @@ struct ServiceOptions {
   uint64_t snapshot_every = 0;
   /// fsync the journal after every append (power-loss durability).
   bool fsync_each_append = false;
+  /// When non-empty, SNAPSHOT also dumps the chrome-trace JSON of all
+  /// spans captured so far to this path (the daemon additionally dumps
+  /// on shutdown). Requires tracing to have been started.
+  std::string trace_out;
 };
 
-/// \brief Monotonic counters exposed by the STATS command.
+/// \brief Monotonic counters exposed by the STATS command. This is a
+/// point-in-time view assembled from the service's metric registry;
+/// the registry's lock-free counters are the source of truth.
 struct ServiceStats {
   uint64_t responses_ingested = 0;  ///< accepted RESP (incl. overwrites)
   uint64_t responses_noop = 0;      ///< identical re-submissions
@@ -111,8 +120,38 @@ class Service {
   size_t num_workers() const { return evaluator_->responses().num_workers(); }
   size_t num_tasks() const { return evaluator_->responses().num_tasks(); }
 
+  /// \brief The service's own metric registry. Unlike the process-wide
+  /// gate, these series always count (STATS must work without
+  /// EnableMetrics), and a per-instance registry keeps concurrently
+  /// opened services (tests) from sharing counters. The socket layer
+  /// registers its connection series here too.
+  obs::Registry& metrics_registry() { return metrics_; }
+
+  /// \brief The METRICS reply body: this service's registry rendered
+  /// as Prometheus text, followed by the process-wide registry when
+  /// EnableMetrics() is on, terminated by a `# EOF` line.
+  std::string MetricsExposition() const;
+
  private:
-  explicit Service(ServiceOptions options) : options_(std::move(options)) {}
+  /// Lock-free registry handles for the STATS counters; resolved once
+  /// at construction.
+  struct Counters {
+    obs::Counter* ingested;
+    obs::Counter* noop;
+    obs::Counter* rejected;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* eval_all_runs;
+    obs::HistogramMetric* eval_seconds;
+    obs::Counter* snapshots_written;
+    obs::Counter* recovered_records;
+    obs::Counter* recovery_truncated_bytes;
+    obs::Gauge* journal_bytes;
+    obs::Gauge* journal_records;
+    obs::Gauge* snapshot_seq;
+  };
+
+  explicit Service(ServiceOptions options);
 
   Status Recover();
   /// Ingest without journaling — used for journal replay.
@@ -120,14 +159,18 @@ class Service {
                data::Response value, bool* changed);
   std::string HandleCommand(const Command& cmd, bool* quit);
   Result<uint64_t> TakeSnapshotLocked();
+  /// Records one executed command on the per-command latency series.
+  void RecordCommand(std::string_view verb, double seconds);
 
   ServiceOptions options_;
+  obs::Registry metrics_;
+  Counters counters_;
+  std::atomic<double> last_eval_micros_{0.0};
 
   mutable std::mutex mu_;
   std::unique_ptr<core::IncrementalEvaluator> evaluator_;
   std::optional<Journal> journal_;
   uint64_t last_seq_ = 0;
-  ServiceStats stats_;
 };
 
 }  // namespace crowd::server

@@ -6,7 +6,10 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/binary_io.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace crowd::server {
@@ -46,6 +49,8 @@ std::string SnapshotPath(const std::string& dir, uint64_t seq) {
 Result<uint64_t> WriteSnapshot(const std::string& dir,
                                const data::ResponseMatrix& responses,
                                uint64_t applied_seq) {
+  CROWD_SPAN("snapshot.write");
+  Stopwatch watch;
   const size_t nw = responses.num_workers();
   const size_t nt = responses.num_tasks();
   std::vector<uint8_t> payload;
@@ -85,6 +90,20 @@ Result<uint64_t> WriteSnapshot(const std::string& dir,
     return Status::IoError("rename " + tmp + " -> " + path);
   }
   CROWD_RETURN_NOT_OK(SyncDirectoryOf(path));
+  if (obs::Registry* r = obs::MetricsRegistry()) {
+    static obs::Counter* const writes = r->GetCounter(
+        "crowdeval_snapshot_writes_total", "snapshots written durably");
+    static obs::Counter* const written = r->GetCounter(
+        "crowdeval_snapshot_bytes_written_total",
+        "bytes written into snapshot files");
+    static obs::HistogramMetric* const latency = r->GetHistogram(
+        "crowdeval_snapshot_write_seconds",
+        "wall time of one durable snapshot write",
+        obs::Histogram::LatencyBounds());
+    writes->Increment();
+    written->Increment(bytes.size());
+    latency->Record(watch.ElapsedSeconds());
+  }
   return static_cast<uint64_t>(bytes.size());
 }
 

@@ -109,6 +109,10 @@ void SocketServer::AcceptLoop() {
       break;  // listener closed
     }
     connections_.fetch_add(1);
+    service_->metrics_registry()
+        .GetCounter("crowdeval_server_connections_total",
+                    "client connections accepted")
+        ->Increment();
     std::lock_guard<std::mutex> lock(client_mu_);
     client_fds_.push_back(fd);
     client_threads_.emplace_back(
@@ -117,6 +121,10 @@ void SocketServer::AcceptLoop() {
 }
 
 void SocketServer::ServeConnection(int fd) {
+  obs::Gauge* active = service_->metrics_registry().GetGauge(
+      "crowdeval_server_connections_active",
+      "currently connected clients");
+  active->Add(1);
   std::string buffer;
   char chunk[4096];
   bool quit = false;
@@ -138,6 +146,7 @@ void SocketServer::ServeConnection(int fd) {
     buffer.erase(0, start);
   }
   ::close(fd);
+  active->Subtract(1);
   std::lock_guard<std::mutex> lock(client_mu_);
   client_fds_.erase(
       std::remove(client_fds_.begin(), client_fds_.end(), fd),

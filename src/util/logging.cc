@@ -1,6 +1,9 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,19 @@ std::atomic<int>& LevelStore() {
   return level;
 }
 
+LogFormat InitialFormat() {
+  const char* env = std::getenv("CROWDEVAL_LOG_FORMAT");
+  if (env != nullptr && std::strcmp(env, "json") == 0) {
+    return LogFormat::kJson;
+  }
+  return LogFormat::kText;
+}
+
+std::atomic<int>& FormatStore() {
+  static std::atomic<int> format{static_cast<int>(InitialFormat())};
+  return format;
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -40,6 +56,60 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+const char* Basename(const char* file) {
+  const char* base = std::strrchr(file, '/');
+  return base ? base + 1 : file;
+}
+
+double WallNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One write(2) per line so concurrent loggers never interleave
+/// mid-line (stderr is unbuffered but fprintf may split long lines).
+void EmitLine(const std::string& line) {
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n <= 0) return;  // logging must never fail the process
+    off += static_cast<size_t>(n);
+  }
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -50,19 +120,53 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(LevelStore().load());
 }
 
+void SetLogFormat(LogFormat format) {
+  FormatStore().store(static_cast<int>(format));
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(FormatStore().load());
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  // Strip directories for compact output.
-  const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file)
-          << ":" << line << "] ";
+std::string FormatLogLine(LogFormat format, LogLevel level,
+                          const char* file, int line,
+                          const std::string& message, double ts_seconds) {
+  std::string out;
+  char buffer[64];
+  if (format == LogFormat::kJson) {
+    out += "{\"ts\":";
+    std::snprintf(buffer, sizeof(buffer), "%.6f", ts_seconds);
+    out += buffer;
+    out += ",\"level\":\"";
+    out += LevelName(level);
+    out += "\",\"src\":\"";
+    std::snprintf(buffer, sizeof(buffer), "%s:%d", Basename(file), line);
+    AppendJsonEscaped(buffer, &out);
+    out += "\",\"msg\":\"";
+    AppendJsonEscaped(message, &out);
+    out += "\"}\n";
+  } else {
+    out += "[";
+    out += LevelName(level);
+    out += " ";
+    std::snprintf(buffer, sizeof(buffer), "%s:%d", Basename(file), line);
+    out += buffer;
+    out += "] ";
+    out += message;
+    out += "\n";
+  }
+  return out;
 }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    EmitLine(FormatLogLine(GetLogFormat(), level_, file_, line_,
+                           stream_.str(), WallNowSeconds()));
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

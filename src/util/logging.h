@@ -2,6 +2,12 @@
 // RocksDB/Arrow internal logging. Logging goes to stderr; the level is
 // process-global and settable programmatically or via the
 // CROWDEVAL_LOG_LEVEL environment variable (DEBUG/INFO/WARNING/ERROR).
+//
+// Output format is either human-readable text (the default) or
+// structured JSON — one object per line with ts/level/src/msg fields —
+// selected programmatically or via CROWDEVAL_LOG_FORMAT=json. Each log
+// line is assembled in full and emitted with a single write(2), so
+// concurrent threads never interleave within a line in either format.
 
 #ifndef CROWD_UTIL_LOGGING_H_
 #define CROWD_UTIL_LOGGING_H_
@@ -19,11 +25,28 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
+enum class LogFormat : int {
+  kText = 0,
+  kJson = 1,
+};
+
 /// \brief Process-global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// \brief Process-global output format (text or one-JSON-object-per-
+/// line). Initialized from CROWDEVAL_LOG_FORMAT ("json"/"text").
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
 namespace internal {
+
+/// \brief Renders one complete log line (including the trailing
+/// newline) for the given format. Exposed for testing; `ts_seconds`
+/// is Unix wall-clock time.
+std::string FormatLogLine(LogFormat format, LogLevel level,
+                          const char* file, int line,
+                          const std::string& message, double ts_seconds);
 
 /// Stream-style log sink; emits on destruction. Fatal logs abort.
 class LogMessage {
@@ -38,6 +61,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

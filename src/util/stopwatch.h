@@ -4,6 +4,7 @@
 #define CROWD_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace crowd {
 
@@ -20,6 +21,14 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds elapsed; preferred for histogram feeding and
+  /// bench inner loops (no double rounding at the ns scale).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

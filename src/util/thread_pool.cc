@@ -1,9 +1,53 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <exception>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace crowd {
+
+namespace {
+
+/// Pool instrumentation handles, resolved once on the first pass with
+/// metrics enabled. Returns nullptr (one relaxed load) when disabled.
+struct PoolMetrics {
+  obs::Counter* jobs;
+  obs::Counter* tasks;
+  obs::Gauge* pending;
+  obs::HistogramMetric* job_seconds;
+  obs::HistogramMetric* task_seconds;
+};
+
+const PoolMetrics* GetPoolMetrics() {
+  obs::Registry* r = obs::MetricsRegistry();
+  if (r == nullptr) return nullptr;
+  static const PoolMetrics metrics = {
+      r->GetCounter("crowdeval_util_threadpool_jobs_total",
+                    "ParallelFor jobs submitted"),
+      r->GetCounter("crowdeval_util_threadpool_tasks_total",
+                    "ParallelFor indices executed"),
+      r->GetGauge("crowdeval_util_threadpool_queue_depth",
+                  "indices published but not yet executed"),
+      r->GetHistogram("crowdeval_util_threadpool_job_seconds",
+                      "wall time of one ParallelFor job",
+                      obs::Histogram::LatencyBounds()),
+      r->GetHistogram("crowdeval_util_threadpool_task_seconds",
+                      "wall time of one ParallelFor index",
+                      obs::Histogram::LatencyBounds()),
+  };
+  return &metrics;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 size_t ThreadPool::ResolveThreadCount(size_t requested) {
   if (requested != 0) return requested;
@@ -60,12 +104,20 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunCurrentJob() {
+  const PoolMetrics* metrics = GetPoolMetrics();
   const std::function<Status(size_t)>& fn = *job_fn_;
   const size_t end = job_end_;
   for (;;) {
     size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= end) break;
+    const double task_start =
+        metrics != nullptr ? MonotonicSeconds() : 0.0;
     Status st = RunOne(fn, i);
+    if (metrics != nullptr) {
+      metrics->tasks->Increment();
+      metrics->pending->Subtract(1);
+      metrics->task_seconds->Record(MonotonicSeconds() - task_start);
+    }
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       if (first_error_.ok() || i < first_error_index_) {
@@ -79,13 +131,30 @@ void ThreadPool::RunCurrentJob() {
 Status ThreadPool::ParallelFor(size_t begin, size_t end,
                                const std::function<Status(size_t)>& fn) {
   if (end <= begin) return Status::OK();
+  CROWD_SPAN("util.parallel_for");
+  const PoolMetrics* metrics = GetPoolMetrics();
+  const double job_start = metrics != nullptr ? MonotonicSeconds() : 0.0;
+  if (metrics != nullptr) {
+    metrics->jobs->Increment();
+    metrics->pending->Add(static_cast<int64_t>(end - begin));
+  }
   if (workers_.empty()) {
     // Serial path: same contract (all indices run, lowest-index error
     // wins) without any synchronization.
     Status first_error;
     for (size_t i = begin; i < end; ++i) {
+      const double task_start =
+          metrics != nullptr ? MonotonicSeconds() : 0.0;
       Status st = RunOne(fn, i);
+      if (metrics != nullptr) {
+        metrics->tasks->Increment();
+        metrics->pending->Subtract(1);
+        metrics->task_seconds->Record(MonotonicSeconds() - task_start);
+      }
       if (!st.ok() && first_error.ok()) first_error = std::move(st);
+    }
+    if (metrics != nullptr) {
+      metrics->job_seconds->Record(MonotonicSeconds() - job_start);
     }
     return first_error;
   }
@@ -104,6 +173,9 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end,
   std::unique_lock<std::mutex> lock(mu_);
   job_done_.wait(lock, [&] { return workers_remaining_ == 0; });
   job_fn_ = nullptr;
+  if (metrics != nullptr) {
+    metrics->job_seconds->Record(MonotonicSeconds() - job_start);
+  }
   return first_error_;
 }
 

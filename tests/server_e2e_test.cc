@@ -12,9 +12,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,17 +45,7 @@ class Client {
   // Sends one command line and returns the one-line JSON reply
   // (without the newline).
   std::string RoundTrip(const std::string& command) {
-    std::string out = command + "\n";
-    size_t sent = 0;
-    while (sent < out.size()) {
-      ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        ADD_FAILURE() << "send: " << std::strerror(errno);
-        return "";
-      }
-      sent += static_cast<size_t>(n);
-    }
+    if (!Send(command)) return "";
     for (;;) {
       size_t eol = buffer_.find('\n');
       if (eol != std::string::npos) {
@@ -58,18 +53,59 @@ class Client {
         buffer_.erase(0, eol + 1);
         return line;
       }
-      char chunk[4096];
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        ADD_FAILURE() << "recv: " << std::strerror(errno);
-        return "";
+      if (!Fill()) return "";
+    }
+  }
+
+  // For METRICS, the one multi-line reply: reads until the line
+  // reading exactly `# EOF` and returns everything up to and
+  // including it (newlines preserved, final newline stripped).
+  std::string RoundTripUntilEof(const std::string& command) {
+    if (!Send(command)) return "";
+    const std::string terminator = "# EOF\n";
+    for (;;) {
+      size_t end = buffer_.find(terminator);
+      if (end != std::string::npos &&
+          (end == 0 || buffer_[end - 1] == '\n')) {
+        std::string body = buffer_.substr(0, end + terminator.size() - 1);
+        buffer_.erase(0, end + terminator.size());
+        return body;
       }
-      buffer_.append(chunk, static_cast<size_t>(n));
+      if (!Fill()) return "";
     }
   }
 
  private:
+  bool Send(const std::string& command) {
+    std::string out = command + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+      ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "send: " << std::strerror(errno);
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Receives one chunk into the buffer.
+  bool Fill() {
+    char chunk[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "recv: " << std::strerror(errno);
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+  }
+
   void Connect(const std::string& path) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     ASSERT_GE(fd_, 0) << std::strerror(errno);
@@ -240,6 +276,161 @@ TEST(CrowdevaldE2eTest, StreamCrashRecoverBitIdentical) {
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status)) << status;
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// Checks one Prometheus exposition line: comment, blank, or
+// `name[{labels}] value`.
+bool IsValidExpositionLine(const std::string& line) {
+  if (line.empty() || line[0] == '#') return true;
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space == 0 ||
+      space + 1 >= line.size()) {
+    return false;
+  }
+  std::string name = line.substr(0, space);
+  std::string value = line.substr(space + 1);
+  size_t brace = name.find('{');
+  if (brace != std::string::npos && name.back() != '}') return false;
+  std::string bare = brace == std::string::npos
+                         ? name
+                         : name.substr(0, brace);
+  for (char c : bare) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  if (bare.empty() ||
+      std::isdigit(static_cast<unsigned char>(bare[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0' && errno == 0;
+}
+
+TEST(CrowdevaldE2eTest, MetricsExpositionAndChromeTrace) {
+  const std::string dir = testing::TempDir() + "/crowdevald_metrics_" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path = dir + "/sock";
+  const std::string state_dir = dir + "/state";
+  const std::string trace_path = dir + "/trace.json";
+  const std::string log_path = dir + "/daemon.log";
+
+  constexpr size_t kWorkers = 10;
+  constexpr size_t kTasks = 60;
+
+  // --threads=2: the evaluator only routes through the (instrumented)
+  // ThreadPool when parallel, and the util series must show up below.
+  pid_t pid = SpawnDaemon(
+      {"--workers=" + std::to_string(kWorkers),
+       "--tasks=" + std::to_string(kTasks), "--data-dir=" + state_dir,
+       "--threads=2", "--trace-out=" + trace_path,
+       "--log-format=json"},
+      socket_path, log_path);
+  ASSERT_GT(pid, 0);
+
+  uint64_t ingested_before = 0;
+  {
+    Client client(socket_path);
+    Random rng(7);
+    for (size_t i = 0; i < 2000; ++i) {
+      auto w = static_cast<data::WorkerId>(rng.UniformInt(kWorkers));
+      auto t = static_cast<data::TaskId>(rng.UniformInt(kTasks));
+      auto v = static_cast<data::Response>(rng.UniformInt(2));
+      ASSERT_EQ(client
+                    .RoundTrip("RESP " + std::to_string(w) + " " +
+                               std::to_string(t) + " " + std::to_string(v))
+                    .find("{\"ok\":true"),
+                0u);
+    }
+    client.RoundTrip("EVAL_ALL");
+    // SNAPSHOT gives the tracer a snapshot.write span to capture.
+    ASSERT_EQ(client.RoundTrip("SNAPSHOT").find("{\"ok\":true"), 0u);
+
+    std::string text = client.RoundTripUntilEof("METRICS");
+    ASSERT_FALSE(text.empty());
+
+    // Every line must be well-formed exposition syntax.
+    std::set<std::string> families;
+    size_t start = 0;
+    bool saw_eof = false;
+    while (start < text.size()) {
+      size_t eol = text.find('\n', start);
+      if (eol == std::string::npos) eol = text.size();
+      std::string line = text.substr(start, eol - start);
+      start = eol + 1;
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      EXPECT_TRUE(IsValidExpositionLine(line)) << "bad line: " << line;
+      const std::string type_prefix = "# TYPE ";
+      if (line.compare(0, type_prefix.size(), type_prefix) == 0) {
+        families.insert(
+            line.substr(type_prefix.size(),
+                        line.find(' ', type_prefix.size()) -
+                            type_prefix.size()));
+      }
+    }
+    EXPECT_TRUE(saw_eof);
+
+    // Spans core + server + util + journal, >= 12 distinct families.
+    EXPECT_GE(families.size(), 12u) << text;
+    auto has_prefix = [&](const std::string& prefix) {
+      for (const std::string& f : families) {
+        if (f.compare(0, prefix.size(), prefix) == 0) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(has_prefix("crowdeval_core_")) << text;
+    EXPECT_TRUE(has_prefix("crowdeval_server_")) << text;
+    EXPECT_TRUE(has_prefix("crowdeval_util_")) << text;
+    EXPECT_TRUE(has_prefix("crowdeval_journal_")) << text;
+
+    // Counters advance between scrapes.
+    auto series_value = [](const std::string& exposition,
+                           const std::string& series) -> double {
+      size_t pos = exposition.find("\n" + series + " ");
+      if (pos == std::string::npos) return -1.0;
+      return std::strtod(
+          exposition.c_str() + pos + 1 + series.size() + 1, nullptr);
+    };
+    double before = series_value(
+        text, "crowdeval_server_responses_ingested_total");
+    EXPECT_GT(before, 0.0) << text;
+    ASSERT_EQ(client.RoundTrip("RESP 0 0 1").find("{\"ok\":true"), 0u);
+    std::string text2 = client.RoundTripUntilEof("METRICS");
+    double after = series_value(
+        text2, "crowdeval_server_responses_ingested_total");
+    EXPECT_EQ(after, before + 1.0) << text2;
+    ingested_before = static_cast<uint64_t>(after);
+  }
+
+  // Clean shutdown dumps the chrome trace.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_GT(ingested_before, 0u);
+
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good()) << trace_path;
+  std::stringstream trace_stream;
+  trace_stream << trace_file.rdbuf();
+  std::string trace = trace_stream.str();
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  EXPECT_EQ(trace.rfind("]}"), trace.size() - 2) << trace.substr(0, 200);
+  // Spans from the durability path and a core pipeline stage.
+  EXPECT_NE(trace.find("\"name\":\"journal.append\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"snapshot.write\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"core.evaluate_worker\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
 }
 
 }  // namespace

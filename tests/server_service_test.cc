@@ -5,8 +5,11 @@
 
 #include "server/service.h"
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/m_worker.h"
 #include "gtest/gtest.h"
@@ -254,6 +257,76 @@ TEST(ServiceTest, AutomaticSnapshotEveryN) {
   EXPECT_EQ(stats.snapshots_written, 2u);
   EXPECT_EQ(stats.snapshot_seq, 10u);
   EXPECT_EQ(stats.journal_records, 2u);
+}
+
+TEST(ServiceTest, MetricsCommandExportsPrometheus) {
+  auto service = OpenInMemory(5, 9);
+  service->ExecuteLine("RESP 0 0 1");
+  service->ExecuteLine("RESP 9 0 1");  // rejected: worker out of range
+  service->ExecuteLine("EVAL_ALL");
+
+  std::string text = service->ExecuteLine("METRICS");
+  // Terminated by an EOF marker line (the one multi-line reply in the
+  // protocol).
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "\n# EOF") << text;
+  EXPECT_NE(
+      text.find("# TYPE crowdeval_server_responses_ingested_total counter"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("crowdeval_server_responses_ingested_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("crowdeval_server_responses_rejected_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("crowdeval_server_eval_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("crowdeval_server_command_seconds_bucket{command=\"RESP\""),
+      std::string::npos)
+      << text;
+}
+
+// Hammers STATS/METRICS from readers while writers ingest — the
+// regression test for the pre-registry ServiceStats counters, whose
+// unsynchronized increments raced. Run under TSan in CI.
+TEST(ServiceTest, ConcurrentIngestAndStatsAreRaceFree) {
+  auto service = OpenInMemory(8, 64);
+  constexpr int kWriters = 4;
+  constexpr int kResponsesPerWriter = 2000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Random rng(100 + static_cast<uint64_t>(w));
+      for (int i = 0; i < kResponsesPerWriter; ++i) {
+        auto worker = static_cast<data::WorkerId>(rng.UniformInt(8));
+        auto task = static_cast<data::TaskId>(rng.UniformInt(64));
+        auto value = static_cast<data::Response>(rng.UniformInt(2));
+        EXPECT_TRUE(service->Ingest(worker, task, value).ok());
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!done.load()) {
+      ServiceStats stats = service->stats();
+      EXPECT_LE(stats.responses_ingested + stats.responses_noop,
+                static_cast<uint64_t>(kWriters) * kResponsesPerWriter);
+      std::string text = service->ExecuteLine("METRICS");
+      EXPECT_NE(text.find("# EOF"), std::string::npos);
+    }
+  });
+  for (auto& t : threads) t.join();
+  done.store(true);
+  reader.join();
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.responses_ingested + stats.responses_noop,
+            static_cast<uint64_t>(kWriters) * kResponsesPerWriter);
+  EXPECT_EQ(stats.responses_rejected, 0u);
 }
 
 TEST(ServiceTest, SpammersCommandReportsFilteredWorkers) {

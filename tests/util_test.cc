@@ -1,4 +1,5 @@
-// Unit tests for the util module: Status/Result, string helpers, CSV.
+// Unit tests for the util module: Status/Result, string helpers, CSV,
+// the thread pool, and log-line formatting (text + JSON modes).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -242,6 +244,43 @@ TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
   EXPECT_EQ(ThreadPool(1).num_threads(), 1u);
   EXPECT_EQ(ThreadPool(5).num_threads(), 5u);
+}
+
+TEST(Logging, TextFormatLine) {
+  std::string line = internal::FormatLogLine(
+      LogFormat::kText, LogLevel::kWarning, "src/core/foo.cc", 42,
+      "something odd", 1722000000.25);
+  EXPECT_EQ(line, "[WARN foo.cc:42] something odd\n");
+}
+
+TEST(Logging, JsonFormatLine) {
+  std::string line = internal::FormatLogLine(
+      LogFormat::kJson, LogLevel::kError, "src/core/foo.cc", 42,
+      "boom", 1722000000.25);
+  EXPECT_EQ(line,
+            "{\"ts\":1722000000.250000,\"level\":\"ERROR\","
+            "\"src\":\"foo.cc:42\",\"msg\":\"boom\"}\n");
+}
+
+TEST(Logging, JsonEscapesMessage) {
+  std::string line = internal::FormatLogLine(
+      LogFormat::kJson, LogLevel::kInfo, "a.cc", 1,
+      "quote \" backslash \\ newline \n tab \t ctrl \x01 end", 0.0);
+  EXPECT_NE(line.find("quote \\\" backslash \\\\ newline \\n tab \\t "
+                      "ctrl \\u0001 end"),
+            std::string::npos)
+      << line;
+  // One line out: the only '\n' is the terminator.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(Logging, FormatSwitchRoundTrips) {
+  LogFormat before = GetLogFormat();
+  SetLogFormat(LogFormat::kJson);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+  SetLogFormat(LogFormat::kText);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kText);
+  SetLogFormat(before);
 }
 
 }  // namespace

@@ -26,6 +26,11 @@
 //   crowdeval summary    --responses=R.csv [--gold=G.csv]
 //       Dataset shape/density statistics.
 //
+//   Any command also accepts --metrics: enables the process-wide
+//   metric registry and prints a summary table of every counter and
+//   latency histogram the run touched (to stderr, after the normal
+//   output) — a quick profile of where a batch run spent its time.
+//
 // CSV formats are documented in src/data/dataset_io.h; the bundled
 // datasets in data/ are directly usable.
 
@@ -36,6 +41,7 @@
 
 #include "core/evaluator.h"
 #include "data/dataset_io.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "util/string_util.h"
 
@@ -53,6 +59,7 @@ struct Args {
   bool clamp_singularities = false;
   size_t threads = 1;
   std::string format = "text";
+  bool metrics = false;
   std::vector<size_t> workers;
 };
 
@@ -86,6 +93,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
         return Status::Invalid("--format must be text or json, got " +
                                args.format);
       }
+    } else if (arg == "--metrics") {
+      args.metrics = true;
     } else if (arg == "--prune-spammers") {
       args.prune_spammers = true;
     } else if (arg == "--uniform-weights") {
@@ -249,12 +258,25 @@ int Main(int argc, char** argv) {
                  args.status().ToString().c_str());
     return 2;
   }
-  if (args->command == "evaluate") return RunEvaluate(*args);
-  if (args->command == "evaluate-kary") return RunEvaluateKary(*args);
-  if (args->command == "spammers") return RunSpammers(*args);
-  if (args->command == "summary") return RunSummary(*args);
-  std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
-  return 2;
+  if (args->metrics) obs::EnableMetrics();
+  int rc = 2;
+  if (args->command == "evaluate") {
+    rc = RunEvaluate(*args);
+  } else if (args->command == "evaluate-kary") {
+    rc = RunEvaluateKary(*args);
+  } else if (args->command == "spammers") {
+    rc = RunSpammers(*args);
+  } else if (args->command == "summary") {
+    rc = RunSummary(*args);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
+    return 2;
+  }
+  if (args->metrics) {
+    std::fprintf(stderr, "%s",
+                 obs::DefaultRegistry().SummaryTable().c_str());
+  }
+  return rc;
 }
 
 }  // namespace

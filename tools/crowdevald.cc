@@ -4,18 +4,27 @@
 //                    --workers=M --tasks=N
 //                    [--data-dir=DIR] [--snapshot-every=K] [--fsync]
 //                    [--confidence=0.95] [--threads=T]
+//                    [--trace-out=FILE] [--log-format=text|json]
 //       Long-running service around IncrementalEvaluator: accepts the
 //       newline-delimited protocol of src/server/protocol.h (RESP,
-//       EVAL, EVAL_ALL, SPAMMERS, STATS, SNAPSHOT, QUIT) and answers
-//       with JSON lines. With --data-dir every accepted response is
-//       journaled before it is acknowledged and the state survives a
-//       crash: on restart the daemon loads the newest snapshot and
-//       replays the journal tail. --workers/--tasks may be omitted
-//       when --data-dir already holds recovered state. --snapshot-every
-//       compacts the journal automatically every K responses; --fsync
-//       makes each append durable against power loss. SIGINT/SIGTERM
-//       shut down cleanly (writing a final snapshot when --data-dir is
-//       set).
+//       EVAL, EVAL_ALL, SPAMMERS, STATS, METRICS, SNAPSHOT, QUIT) and
+//       answers with JSON lines. With --data-dir every accepted
+//       response is journaled before it is acknowledged and the state
+//       survives a crash: on restart the daemon loads the newest
+//       snapshot and replays the journal tail. --workers/--tasks may
+//       be omitted when --data-dir already holds recovered state.
+//       --snapshot-every compacts the journal automatically every K
+//       responses; --fsync makes each append durable against power
+//       loss. SIGINT/SIGTERM shut down cleanly (writing a final
+//       snapshot when --data-dir is set).
+//
+//       Observability: METRICS returns the Prometheus text exposition
+//       of every counter/gauge/histogram (terminated by a `# EOF`
+//       line). --trace-out=FILE records scoped spans (journal appends,
+//       snapshot writes, evaluator stages) and dumps chrome://tracing
+//       JSON to FILE on shutdown and on each SNAPSHOT command.
+//       --log-format=json switches stderr logs to one JSON object per
+//       line (also via CROWDEVAL_LOG_FORMAT=json).
 //
 // Quick demo (in a second shell):
 //   printf 'RESP 0 0 1\nEVAL_ALL\nSTATS\nQUIT\n' | nc -U /path/sock
@@ -24,8 +33,11 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/service.h"
 #include "server/socket_server.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace crowd {
@@ -43,6 +55,7 @@ struct Args {
   bool fsync = false;
   double confidence = 0.95;
   size_t threads = 1;
+  std::string trace_out;
 };
 
 Result<Args> ParseArgs(int argc, char** argv) {
@@ -88,6 +101,17 @@ Result<Args> ParseArgs(int argc, char** argv) {
                              ParseInt(value_of("--threads=")));
       if (threads < 0) return Status::Invalid("negative thread count");
       args.threads = static_cast<size_t>(threads);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      args.trace_out = value_of("--trace-out=");
+    } else if (StartsWith(arg, "--log-format=")) {
+      std::string_view format = value_of("--log-format=");
+      if (format == "json") {
+        SetLogFormat(LogFormat::kJson);
+      } else if (format == "text") {
+        SetLogFormat(LogFormat::kText);
+      } else {
+        return Status::Invalid("--log-format must be text or json");
+      }
     } else {
       return Status::Invalid("unknown flag: " + std::string(arg));
     }
@@ -102,6 +126,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
 }
 
 int RunServe(const Args& args) {
+  // Library instrumentation on from the start: a daemon exists to be
+  // observed, and the overhead is one relaxed atomic per event.
+  obs::EnableMetrics();
+  if (!args.trace_out.empty()) obs::StartTracing();
+
   server::ServiceOptions service_options;
   service_options.num_workers = static_cast<size_t>(args.workers);
   service_options.num_tasks = static_cast<size_t>(args.tasks);
@@ -111,6 +140,7 @@ int RunServe(const Args& args) {
   service_options.snapshot_every =
       static_cast<uint64_t>(args.snapshot_every);
   service_options.fsync_each_append = args.fsync;
+  service_options.trace_out = args.trace_out;
 
   auto service = server::Service::Open(std::move(service_options));
   if (!service.ok()) {
@@ -158,15 +188,27 @@ int RunServe(const Args& args) {
   sigwait(&signals, &signal_number);
   std::printf("crowdevald: signal %d, shutting down\n", signal_number);
   socket_server.Stop();
+  int exit_code = 0;
   if (!args.data_dir.empty()) {
     auto seq = (*service)->TakeSnapshot();
     if (!seq.ok()) {
       std::fprintf(stderr, "crowdevald: final snapshot failed: %s\n",
                    seq.status().ToString().c_str());
-      return 1;
+      exit_code = 1;
     }
   }
-  return 0;
+  if (!args.trace_out.empty()) {
+    obs::StopTracing();
+    if (obs::WriteChromeTrace(args.trace_out)) {
+      std::printf("crowdevald: trace written to %s\n",
+                  args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "crowdevald: failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }
 
 int Main(int argc, char** argv) {
