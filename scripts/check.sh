@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command pre-push check: everything CI gates on that can run
+# locally, in the order that fails fastest.
+#
+#   scripts/check.sh            # lint + format + build + tests + tidy
+#   scripts/check.sh --quick    # skip the build/test cycle (lint only)
+#
+# Steps that need a tool the machine lacks (clang-tidy, clang-format)
+# SKIP with a notice instead of failing — CI is the enforcing run for
+# those. Everything else failing here would fail CI too.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == --quick ]] && QUICK=1
+
+BUILD_DIR=${BUILD_DIR:-build}
+FAILED=()
+
+step() {
+  local name=$1
+  shift
+  echo
+  echo "==> $name"
+  if "$@"; then
+    echo "==> $name: OK"
+  else
+    echo "==> $name: FAILED"
+    FAILED+=("$name")
+  fi
+}
+
+step "crowd-lint" python3 scripts/crowd_lint.py
+step "crowd-lint unit tests" python3 tests/crowd_lint_test.py
+step "format check (changed files)" scripts/check_format.sh
+
+if [[ $QUICK -eq 0 ]]; then
+  step "configure" cmake -B "$BUILD_DIR" -S .
+  step "build" cmake --build "$BUILD_DIR" -j
+  step "tests" ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  step "clang-tidy (changed files)" scripts/run_tidy.sh --changed
+fi
+
+echo
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  echo "check.sh: FAILED steps: ${FAILED[*]}"
+  exit 1
+fi
+echo "check.sh: all checks passed"

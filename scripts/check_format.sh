@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# clang-format check mode: fails listing files whose formatting
+# deviates from .clang-format, without rewriting anything. The tree is
+# deliberately not bulk-reformatted — the check keeps *new* code clean.
+#
+#   scripts/check_format.sh            # changed files vs origin/main
+#   scripts/check_format.sh --full     # every tracked C++ file
+#
+# SKIPs (exit 0) when clang-format is unavailable; CI installs it and
+# is the enforcing run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=changed
+BASE=${BASE:-origin/main}
+[[ "${1:-}" == --full ]] && MODE=full
+
+FMT=${CLANG_FORMAT:-}
+if [[ -z "$FMT" ]]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      FMT=$candidate
+      break
+    fi
+  done
+fi
+if [[ -z "$FMT" ]]; then
+  echo "check_format: SKIP — clang-format not installed (CI enforces)"
+  exit 0
+fi
+
+if [[ "$MODE" == full ]]; then
+  mapfile -t FILES < <(git ls-files '*.cc' '*.h' '*.cpp')
+else
+  mapfile -t FILES < <({ git diff --name-only --diff-filter=d \
+                           "$BASE"...HEAD -- '*.cc' '*.h' '*.cpp' || true
+                         git diff --name-only --diff-filter=d -- \
+                           '*.cc' '*.h' '*.cpp'; } | sort -u)
+fi
+if [[ ${#FILES[@]} -eq 0 || -z "${FILES[0]}" ]]; then
+  echo "check_format: no files in scope"
+  exit 0
+fi
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  if ! "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: $f needs formatting ($FMT -i $f)" >&2
+    STATUS=1
+  fi
+done
+[[ $STATUS -eq 0 ]] && echo "check_format: ${#FILES[@]} file(s) clean"
+exit $STATUS

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the thread-safety annotations.
+#
+#   negative_compile_check.sh <compiler> <repo-root>
+#
+# Three assertions over tests/thread_annotations_negative.cc:
+#   1. compiles cleanly with -Wthread-safety -Werror as written;
+#   2. FAILS to compile with -DCROWD_NEGATIVE_COMPILE (unguarded read
+#      of a CROWD_GUARDED_BY field);
+#   3. FAILS to compile with -DCROWD_NEGATIVE_COMPILE_REQUIRES
+#      (CROWD_REQUIRES function called without the capability).
+# 2 and 3 prove the annotations actually reject the bug class — i.e.
+# that deleting a CROWD_GUARDED_BY/MutexLock in real code would break
+# the -Wthread-safety build rather than pass silently.
+#
+# Exit 77 (ctest SKIP_RETURN_CODE) when the compiler is not Clang:
+# only Clang implements the analysis; the macros are no-ops elsewhere.
+
+set -euo pipefail
+
+CXX=${1:?usage: negative_compile_check.sh <compiler> <repo-root>}
+ROOT=${2:?usage: negative_compile_check.sh <compiler> <repo-root>}
+SRC="$ROOT/tests/thread_annotations_negative.cc"
+FLAGS=(-std=c++20 -fsyntax-only -I "$ROOT/src" -Wthread-safety -Werror)
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "negative_compile_check: SKIP — $CXX is not Clang," \
+       "thread-safety analysis unavailable"
+  exit 77
+fi
+
+echo "1/3 positive: correctly locked TU must compile"
+"$CXX" "${FLAGS[@]}" "$SRC"
+
+echo "2/3 negative: unguarded CROWD_GUARDED_BY read must NOT compile"
+if "$CXX" "${FLAGS[@]}" -DCROWD_NEGATIVE_COMPILE "$SRC" 2>/dev/null; then
+  echo "FAIL: unguarded access to a guarded field compiled — the" \
+       "thread-safety annotations are not being enforced" >&2
+  exit 1
+fi
+
+echo "3/3 negative: CROWD_REQUIRES call without lock must NOT compile"
+if "$CXX" "${FLAGS[@]}" -DCROWD_NEGATIVE_COMPILE_REQUIRES "$SRC" \
+    2>/dev/null; then
+  echo "FAIL: calling a CROWD_REQUIRES function without the" \
+       "capability compiled — the annotations are not enforced" >&2
+  exit 1
+fi
+
+echo "negative_compile_check: OK"

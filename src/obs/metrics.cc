@@ -4,7 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
+
+// util/mutex.h + util/thread_annotations.h are header-only and free of
+// crowd_* link dependencies, so including them here keeps crowd_obs
+// below crowd_util in the library order.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace crowd::obs {
 
@@ -170,13 +175,13 @@ const char* KindName(MetricKind kind) {
 }  // namespace
 
 struct Registry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, Family> families;  // guarded by mu
+  mutable util::Mutex mu;
+  std::map<std::string, Family> families CROWD_GUARDED_BY(mu);
 
   Series* GetSeries(const std::string& name, MetricKind kind,
                     const std::string& help, const std::string& label_key,
-                    const std::string& label_value) {
-    std::lock_guard<std::mutex> lock(mu);
+                    const std::string& label_value) CROWD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     Family& family = families[name];
     if (family.series.empty()) {
       family.kind = kind;
@@ -198,7 +203,7 @@ Counter* Registry::GetCounter(const std::string& name,
                               const std::string& label_value) {
   Series* series = impl_->GetSeries(name, MetricKind::kCounter, help,
                                     label_key, label_value);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (!series->counter) series->counter = std::make_unique<Counter>();
   return series->counter.get();
 }
@@ -208,7 +213,7 @@ Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
                           const std::string& label_value) {
   Series* series = impl_->GetSeries(name, MetricKind::kGauge, help,
                                     label_key, label_value);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (!series->gauge) series->gauge = std::make_unique<Gauge>();
   return series->gauge.get();
 }
@@ -220,7 +225,7 @@ HistogramMetric* Registry::GetHistogram(const std::string& name,
                                         const std::string& label_value) {
   Series* series = impl_->GetSeries(name, MetricKind::kHistogram, help,
                                     label_key, label_value);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (!series->histogram) {
     series->histogram = std::make_unique<HistogramMetric>(std::move(bounds));
   }
@@ -228,7 +233,7 @@ HistogramMetric* Registry::GetHistogram(const std::string& name,
 }
 
 std::string Registry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   std::string out;
   for (const auto& [name, family] : impl_->families) {
     out += "# HELP " + name + " " + family.help + "\n";
@@ -278,7 +283,7 @@ std::string Registry::ExportPrometheus() const {
 }
 
 std::string Registry::SummaryTable() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   std::string out;
   for (const auto& [name, family] : impl_->families) {
     for (const auto& [labels, series] : family.series) {
@@ -311,7 +316,7 @@ std::string Registry::SummaryTable() const {
 }
 
 size_t Registry::NumFamilies() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->families.size();
 }
 

@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+// Header-only, no crowd_* link dependency — safe below crowd_util.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace crowd::obs {
 
@@ -19,22 +22,22 @@ struct SpanRing {
   explicit SpanRing(size_t capacity, uint32_t thread_ordinal)
       : events(capacity), tid(thread_ordinal) {}
 
-  std::mutex mu;
-  std::vector<TraceEvent> events;  // guarded by mu
-  size_t next = 0;                 // guarded by mu
-  size_t size = 0;                 // guarded by mu
+  util::Mutex mu;
+  std::vector<TraceEvent> events CROWD_GUARDED_BY(mu);
+  size_t next CROWD_GUARDED_BY(mu) = 0;
+  size_t size CROWD_GUARDED_BY(mu) = 0;
   uint32_t tid = 0;
 
-  void Append(const TraceEvent& event) {
-    std::lock_guard<std::mutex> lock(mu);
+  void Append(const TraceEvent& event) CROWD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     if (events.empty()) return;
     events[next] = event;
     next = (next + 1) % events.size();
     if (size < events.size()) ++size;
   }
 
-  void SnapshotInto(std::vector<TraceEvent>* out) {
-    std::lock_guard<std::mutex> lock(mu);
+  void SnapshotInto(std::vector<TraceEvent>* out) CROWD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     // Oldest-first: the ring wraps at `next` when full.
     const size_t start = size == events.size() ? next : 0;
     for (size_t i = 0; i < size; ++i) {
@@ -42,19 +45,22 @@ struct SpanRing {
     }
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu);
+  void Clear() CROWD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     next = 0;
     size = 0;
   }
 };
 
 struct TraceState {
-  std::mutex mu;
-  std::vector<SpanRing*> live;                      // guarded by mu
-  std::vector<std::unique_ptr<SpanRing>> retired;   // guarded by mu
-  size_t capacity = 8192;                           // guarded by mu
-  uint32_t next_tid = 0;                            // guarded by mu
+  util::Mutex mu;
+  std::vector<SpanRing*> live CROWD_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<SpanRing>> retired CROWD_GUARDED_BY(mu);
+  size_t capacity CROWD_GUARDED_BY(mu) = 8192;
+  uint32_t next_tid CROWD_GUARDED_BY(mu) = 0;
+  // Written only by StartTracing and read lock-free on the span hot
+  // path; a torn read is impossible in practice (monotonic clock
+  // rebase) and annotating it would put a lock on every TraceNowNanos.
   Clock::time_point epoch = Clock::now();
 };
 
@@ -70,7 +76,7 @@ struct RingHandle {
   ~RingHandle() {
     if (!ring) return;
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     for (size_t i = 0; i < state.live.size(); ++i) {
       if (state.live[i] == ring.get()) {
         state.live.erase(state.live.begin() + static_cast<long>(i));
@@ -85,7 +91,7 @@ SpanRing& ThisThreadRing() {
   thread_local RingHandle handle;
   if (!handle.ring) {
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     handle.ring = std::make_unique<SpanRing>(state.capacity,
                                              state.next_tid++);
     state.live.push_back(handle.ring.get());
@@ -123,7 +129,7 @@ uint64_t TraceNowNanos() {
 void StartTracing(size_t events_per_thread) {
   TraceState& state = State();
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     state.capacity = events_per_thread == 0 ? 1 : events_per_thread;
     state.retired.clear();
     state.epoch = Clock::now();
@@ -147,7 +153,7 @@ std::string ChromeTraceJson() {
   std::vector<TraceEvent> events;
   TraceState& state = State();
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(state.mu);
     for (SpanRing* ring : state.live) ring->SnapshotInto(&events);
     for (const auto& ring : state.retired) ring->SnapshotInto(&events);
   }

@@ -66,7 +66,12 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
 
 Result<std::unique_ptr<Service>> Service::Open(ServiceOptions options) {
   std::unique_ptr<Service> service(new Service(std::move(options)));
-  CROWD_RETURN_NOT_OK(service->Recover());
+  {
+    // No other thread can reach the service yet; the lock exists so
+    // Recover's writes to the guarded state satisfy the analysis.
+    util::MutexLock lock(service->mu_);
+    CROWD_RETURN_NOT_OK(service->Recover());
+  }
   return service;
 }
 
@@ -242,7 +247,7 @@ Status Service::Apply(data::WorkerId worker, data::TaskId task,
 
 Status Service::Ingest(data::WorkerId worker, data::TaskId task,
                        data::Response value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   bool changed = false;
   Status st = Apply(worker, task, value, &changed);
   if (!st.ok()) {
@@ -281,7 +286,7 @@ Status Service::Ingest(data::WorkerId worker, data::TaskId task,
 }
 
 Result<core::WorkerAssessment> Service::Evaluate(data::WorkerId worker) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const bool cached = evaluator_->IsCached(worker);
   Stopwatch timer;
   Result<core::WorkerAssessment> result = evaluator_->Evaluate(worker);
@@ -297,10 +302,10 @@ Result<core::WorkerAssessment> Service::Evaluate(data::WorkerId worker) {
 }
 
 core::MWorkerResult Service::EvaluateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const size_t dirty = evaluator_->DirtyWorkerCount();
   counters_.cache_misses->Increment(dirty);
-  counters_.cache_hits->Increment(num_workers() - dirty);
+  counters_.cache_hits->Increment(NumWorkersLocked() - dirty);
   Stopwatch timer;
   core::MWorkerResult result = evaluator_->EvaluateAll();
   const double seconds = timer.ElapsedSeconds();
@@ -311,7 +316,7 @@ core::MWorkerResult Service::EvaluateAll() {
 }
 
 Result<uint64_t> Service::TakeSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return TakeSnapshotLocked();
 }
 
@@ -327,8 +332,8 @@ Result<uint64_t> Service::TakeSnapshotLocked() {
   // redundant; a crash between the rename and the cleanup below only
   // leaves extra (skipped-on-replay) files behind.
   JournalHeader header;
-  header.num_workers = static_cast<uint32_t>(num_workers());
-  header.num_tasks = static_cast<uint32_t>(num_tasks());
+  header.num_workers = static_cast<uint32_t>(NumWorkersLocked());
+  header.num_tasks = static_cast<uint32_t>(NumTasksLocked());
   header.arity = 2;
   header.base_seq = last_seq_;
   const std::string path = JournalPath(options_.data_dir);
@@ -391,8 +396,26 @@ std::string Service::MetricsExposition() const {
 }
 
 uint64_t Service::last_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return last_seq_;
+}
+
+size_t Service::NumWorkersLocked() const {
+  return evaluator_->responses().num_workers();
+}
+
+size_t Service::NumTasksLocked() const {
+  return evaluator_->responses().num_tasks();
+}
+
+size_t Service::num_workers() const {
+  util::MutexLock lock(mu_);
+  return NumWorkersLocked();
+}
+
+size_t Service::num_tasks() const {
+  util::MutexLock lock(mu_);
+  return NumTasksLocked();
 }
 
 namespace {
@@ -462,7 +485,7 @@ std::string Service::HandleCommand(const Command& cmd, bool* quit) {
       return "{\"ok\":true," + MWorkerResultBodyJson(result) + "}";
     }
     case CommandType::kSpammers: {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       auto filtered = core::FilterSpammers(evaluator_->responses(),
                                            options_.spammer);
       if (!filtered.ok()) return ErrorJson(filtered.status());
@@ -479,7 +502,7 @@ std::string Service::HandleCommand(const Command& cmd, bool* quit) {
     }
     case CommandType::kStats: {
       const ServiceStats snapshot = stats();
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       return StrFormat(
           "{\"ok\":true,\"stats\":{"
           "\"num_workers\":%zu,\"num_tasks\":%zu,"

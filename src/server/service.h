@@ -27,7 +27,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,7 +37,9 @@
 #include "obs/metrics.h"
 #include "server/journal.h"
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace crowd::server {
 
@@ -102,23 +103,25 @@ class Service {
   /// (without trailing newline). Never fails: errors become
   /// `{"ok":false,...}` replies. Sets `*quit` when the command asks to
   /// close the connection.
-  std::string ExecuteLine(std::string_view line, bool* quit = nullptr);
+  std::string ExecuteLine(std::string_view line, bool* quit = nullptr)
+      CROWD_EXCLUDES(mu_);
 
   /// Typed entry points (used by tests and the bench harness; the
   /// protocol handlers above are thin wrappers over these).
   Status Ingest(data::WorkerId worker, data::TaskId task,
-                data::Response value);
-  Result<core::WorkerAssessment> Evaluate(data::WorkerId worker);
-  core::MWorkerResult EvaluateAll();
+                data::Response value) CROWD_EXCLUDES(mu_);
+  Result<core::WorkerAssessment> Evaluate(data::WorkerId worker)
+      CROWD_EXCLUDES(mu_);
+  core::MWorkerResult EvaluateAll() CROWD_EXCLUDES(mu_);
   /// Writes a snapshot, compacts the journal behind it and deletes
   /// superseded snapshots. Returns the covered seq.
-  Result<uint64_t> TakeSnapshot();
+  Result<uint64_t> TakeSnapshot() CROWD_EXCLUDES(mu_);
 
   ServiceStats stats() const;
   /// Seq of the last accepted response (0 before any).
-  uint64_t last_seq() const;
-  size_t num_workers() const { return evaluator_->responses().num_workers(); }
-  size_t num_tasks() const { return evaluator_->responses().num_tasks(); }
+  uint64_t last_seq() const CROWD_EXCLUDES(mu_);
+  size_t num_workers() const CROWD_EXCLUDES(mu_);
+  size_t num_tasks() const CROWD_EXCLUDES(mu_);
 
   /// \brief The service's own metric registry. Unlike the process-wide
   /// gate, these series always count (STATS must work without
@@ -153,12 +156,15 @@ class Service {
 
   explicit Service(ServiceOptions options);
 
-  Status Recover();
+  Status Recover() CROWD_REQUIRES(mu_);
   /// Ingest without journaling — used for journal replay.
   Status Apply(data::WorkerId worker, data::TaskId task,
-               data::Response value, bool* changed);
-  std::string HandleCommand(const Command& cmd, bool* quit);
-  Result<uint64_t> TakeSnapshotLocked();
+               data::Response value, bool* changed) CROWD_REQUIRES(mu_);
+  std::string HandleCommand(const Command& cmd, bool* quit)
+      CROWD_EXCLUDES(mu_);
+  Result<uint64_t> TakeSnapshotLocked() CROWD_REQUIRES(mu_);
+  size_t NumWorkersLocked() const CROWD_REQUIRES(mu_);
+  size_t NumTasksLocked() const CROWD_REQUIRES(mu_);
   /// Records one executed command on the per-command latency series.
   void RecordCommand(std::string_view verb, double seconds);
 
@@ -167,10 +173,11 @@ class Service {
   Counters counters_;
   std::atomic<double> last_eval_micros_{0.0};
 
-  mutable std::mutex mu_;
-  std::unique_ptr<core::IncrementalEvaluator> evaluator_;
-  std::optional<Journal> journal_;
-  uint64_t last_seq_ = 0;
+  mutable util::Mutex mu_;
+  std::unique_ptr<core::IncrementalEvaluator> evaluator_
+      CROWD_GUARDED_BY(mu_);
+  std::optional<Journal> journal_ CROWD_GUARDED_BY(mu_);
+  uint64_t last_seq_ CROWD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace crowd::server

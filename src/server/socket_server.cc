@@ -113,7 +113,7 @@ void SocketServer::AcceptLoop() {
         .GetCounter("crowdeval_server_connections_total",
                     "client connections accepted")
         ->Increment();
-    std::lock_guard<std::mutex> lock(client_mu_);
+    util::MutexLock lock(client_mu_);
     client_fds_.push_back(fd);
     client_threads_.emplace_back(
         [this, fd] { ServeConnection(fd); });
@@ -147,7 +147,7 @@ void SocketServer::ServeConnection(int fd) {
   }
   ::close(fd);
   active->Subtract(1);
-  std::lock_guard<std::mutex> lock(client_mu_);
+  util::MutexLock lock(client_mu_);
   client_fds_.erase(
       std::remove(client_fds_.begin(), client_fds_.end(), fd),
       client_fds_.end());
@@ -170,13 +170,13 @@ void SocketServer::Stop() {
   {
     // Wake blocked recv()s; the connection threads then exit and
     // close their own fds.
-    std::lock_guard<std::mutex> lock(client_mu_);
+    util::MutexLock lock(client_mu_);
     for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(client_mu_);
+    util::MutexLock lock(client_mu_);
     threads.swap(client_threads_);
   }
   for (std::thread& t : threads) {

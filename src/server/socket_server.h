@@ -9,13 +9,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/service.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace crowd::server {
 
@@ -42,7 +43,7 @@ class SocketServer {
   Status Start();
   /// Stops accepting, disconnects every client and joins all threads.
   /// Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() CROWD_EXCLUDES(client_mu_);
 
   /// The bound TCP port (after Start() with use_tcp).
   uint16_t port() const { return port_; }
@@ -50,8 +51,8 @@ class SocketServer {
   uint64_t connections_accepted() const { return connections_.load(); }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  void AcceptLoop() CROWD_EXCLUDES(client_mu_);
+  void ServeConnection(int fd) CROWD_EXCLUDES(client_mu_);
 
   Service* service_;
   SocketServerOptions options_;
@@ -62,9 +63,9 @@ class SocketServer {
   std::atomic<uint64_t> connections_{0};
   std::thread accept_thread_;
 
-  std::mutex client_mu_;
-  std::vector<int> client_fds_;          // guarded by client_mu_
-  std::vector<std::thread> client_threads_;  // guarded by client_mu_
+  util::Mutex client_mu_;
+  std::vector<int> client_fds_ CROWD_GUARDED_BY(client_mu_);
+  std::vector<std::thread> client_threads_ CROWD_GUARDED_BY(client_mu_);
 };
 
 }  // namespace crowd::server

@@ -1,0 +1,77 @@
+// The annotatable mutex shim: util::Mutex wraps std::mutex as a Clang
+// thread-safety `capability`, and util::MutexLock is the RAII guard
+// the analysis understands (`scoped_lockable`). All library code locks
+// through these types — never raw std::mutex / std::lock_guard /
+// std::unique_lock (crowd-lint rule `raw-mutex`) — so that every
+// CROWD_GUARDED_BY field access is checked at compile time under
+// `-Wthread-safety -Werror` (see util/thread_annotations.h).
+//
+// Condition variables: keep a plain std::condition_variable next to
+// the Mutex and wait through MutexLock::Wait, which exposes the
+// underlying std::unique_lock. The analysis treats the capability as
+// held across the wait (the lock is reacquired before Wait returns,
+// so guarded accesses after a wait are in fact protected).
+//
+// Header-only and free of crowd_* dependencies, so crowd_obs (which
+// sits below crowd_util in the link order) may use it too.
+
+#ifndef CROWD_UTIL_MUTEX_H_
+#define CROWD_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace crowd::util {
+
+/// \brief std::mutex as an annotatable capability.
+class CROWD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CROWD_ACQUIRE() { mu_.lock(); }
+  void Unlock() CROWD_RELEASE() { mu_.unlock(); }
+  bool TryLock() CROWD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for interop that the analysis cannot model.
+  /// Locking through it bypasses the analysis — MutexLock only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over util::Mutex (the std::lock_guard /
+/// std::unique_lock replacement). Holds the capability for its whole
+/// scope; supports condition-variable waits.
+class CROWD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CROWD_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  ~MutexLock() CROWD_RELEASE() {}  // unique_lock member unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks until `cv` is notified. The mutex is released while
+  /// waiting and reacquired before returning, exactly like
+  /// std::condition_variable::wait on the underlying lock.
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Waits until `pred()` holds; `pred` runs with the mutex held.
+  template <typename Predicate>
+  void Wait(std::condition_variable& cv, Predicate pred) {
+    cv.wait(lock_, std::move(pred));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace crowd::util
+
+#endif  // CROWD_UTIL_MUTEX_H_

@@ -1,0 +1,82 @@
+// Portable wrappers for Clang's Thread Safety Analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang
+// the macros expand to __attribute__((...)) and `-Wthread-safety`
+// turns lock-discipline violations into compile errors; under every
+// other compiler they expand to nothing, so annotated code stays
+// portable.
+//
+// Annotate with the CROWD_* names, never the raw attributes:
+//   - fields:      `int x CROWD_GUARDED_BY(mu_);`
+//   - functions:   `void F() CROWD_REQUIRES(mu_);`
+//   - lock types:  `class CROWD_CAPABILITY("mutex") Mutex { ... };`
+//
+// The annotatable mutex itself lives in util/mutex.h; library code
+// must use that shim (crowd-lint rule `raw-mutex`) so every lock in
+// the tree is visible to the analysis.
+//
+// This header is macros only — no includes, no link dependency — so
+// it is layering-safe for crowd_obs (which sits below crowd_util).
+
+#ifndef CROWD_UTIL_THREAD_ANNOTATIONS_H_
+#define CROWD_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CROWD_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define CROWD_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define CROWD_CAPABILITY(name) \
+  CROWD_THREAD_ANNOTATION_IMPL(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define CROWD_SCOPED_CAPABILITY \
+  CROWD_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define CROWD_GUARDED_BY(x) CROWD_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding
+/// `x` (the pointer itself is unguarded).
+#define CROWD_PT_GUARDED_BY(x) \
+  CROWD_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Caller must hold the capabilities when calling this function.
+#define CROWD_REQUIRES(...) \
+  CROWD_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities and does not release them.
+#define CROWD_ACQUIRE(...) \
+  CROWD_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Function releases capabilities the caller holds.
+#define CROWD_RELEASE(...) \
+  CROWD_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define CROWD_TRY_ACQUIRE(ret, ...) \
+  CROWD_THREAD_ANNOTATION_IMPL(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define CROWD_EXCLUDES(...) \
+  CROWD_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the
+/// analysis about invariants it cannot derive).
+#define CROWD_ASSERT_CAPABILITY(x) \
+  CROWD_THREAD_ANNOTATION_IMPL(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define CROWD_RETURN_CAPABILITY(x) \
+  CROWD_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch for code whose synchronization the analysis cannot
+/// model (e.g. init-before-publication). Always pair with a comment
+/// explaining the actual protocol.
+#define CROWD_NO_THREAD_SAFETY_ANALYSIS \
+  CROWD_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // CROWD_UTIL_THREAD_ANNOTATIONS_H_

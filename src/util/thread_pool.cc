@@ -65,7 +65,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutting_down_ = true;
   }
   job_ready_.notify_all();
@@ -88,16 +88,19 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [&] {
-        return shutting_down_ || job_generation_ != seen_generation;
-      });
+      // Guarded fields are tested directly under the held lock (not
+      // via a wait predicate lambda) so the thread-safety analysis
+      // sees every access.
+      util::MutexLock lock(mu_);
+      while (!shutting_down_ && job_generation_ == seen_generation) {
+        lock.Wait(job_ready_);
+      }
       if (shutting_down_) return;
       seen_generation = job_generation_;
     }
     RunCurrentJob();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (--workers_remaining_ == 0) job_done_.notify_all();
     }
   }
@@ -119,7 +122,7 @@ void ThreadPool::RunCurrentJob() {
       metrics->task_seconds->Record(MonotonicSeconds() - task_start);
     }
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (first_error_.ok() || i < first_error_index_) {
         first_error_index_ = i;
         first_error_ = std::move(st);
@@ -159,7 +162,7 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end,
     return first_error;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     job_fn_ = &fn;
     job_end_ = end;
     job_next_.store(begin, std::memory_order_relaxed);
@@ -170,8 +173,8 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end,
   }
   job_ready_.notify_all();
   RunCurrentJob();
-  std::unique_lock<std::mutex> lock(mu_);
-  job_done_.wait(lock, [&] { return workers_remaining_ == 0; });
+  util::MutexLock lock(mu_);
+  while (workers_remaining_ != 0) lock.Wait(job_done_);
   job_fn_ = nullptr;
   if (metrics != nullptr) {
     metrics->job_seconds->Record(MonotonicSeconds() - job_start);

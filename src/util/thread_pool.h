@@ -19,11 +19,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace crowd {
 
@@ -58,31 +59,34 @@ class ThreadPool {
   /// crosses the pool boundary. Not reentrant: one ParallelFor at a
   /// time per pool.
   Status ParallelFor(size_t begin, size_t end,
-                     const std::function<Status(size_t)>& fn);
+                     const std::function<Status(size_t)>& fn)
+      CROWD_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CROWD_EXCLUDES(mu_);
   /// Claims and runs indices of the current job until none are left.
-  void RunCurrentJob();
+  void RunCurrentJob() CROWD_EXCLUDES(mu_);
   /// fn(i) with exceptions converted to Status::Internal.
   static Status RunOne(const std::function<Status(size_t)>& fn, size_t i);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  util::Mutex mu_;
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
-  uint64_t job_generation_ = 0;   // guarded by mu_
-  size_t workers_remaining_ = 0;  // guarded by mu_
-  bool shutting_down_ = false;    // guarded by mu_
+  uint64_t job_generation_ CROWD_GUARDED_BY(mu_) = 0;
+  size_t workers_remaining_ CROWD_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ CROWD_GUARDED_BY(mu_) = false;
 
   // Current-job state. fn/end are written under mu_ before the
-  // generation bump that publishes them to the workers.
+  // generation bump that publishes them to the workers; workers read
+  // them only after observing the bump under mu_, so the handshake —
+  // not a held lock — orders the accesses (hence no CROWD_GUARDED_BY).
   const std::function<Status(size_t)>* job_fn_ = nullptr;
   size_t job_end_ = 0;
   std::atomic<size_t> job_next_{0};
-  size_t first_error_index_ = 0;  // guarded by mu_
-  Status first_error_;            // guarded by mu_
+  size_t first_error_index_ CROWD_GUARDED_BY(mu_) = 0;
+  Status first_error_ CROWD_GUARDED_BY(mu_);
 };
 
 }  // namespace crowd

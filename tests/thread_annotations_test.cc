@@ -1,0 +1,125 @@
+// Runtime behavior of the util::Mutex / util::MutexLock shim
+// (util/mutex.h). The *static* half of the contract — that unguarded
+// access to a CROWD_GUARDED_BY field fails the build — is covered by
+// the negative-compile test (tests/thread_annotations_negative.cc via
+// scripts/negative_compile_check.sh); these tests pin the dynamic
+// semantics the annotations assume: mutual exclusion, RAII release,
+// TryLock, and condition-variable wakeups through MutexLock::Wait.
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace crowd {
+namespace {
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  util::Mutex mu;
+  mu.Lock();
+  // try_lock on a std::mutex already held by this thread is UB, so
+  // probe from another thread.
+  bool acquired = true;
+  std::thread prober([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+
+  std::thread prober2([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  prober2.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexTest, MutexLockReleasesOnScopeExit) {
+  util::Mutex mu;
+  {
+    util::MutexLock lock(mu);
+  }
+  // Plain bool so the thread-safety analysis can track the
+  // try-acquire branch (it cannot see through the EXPECT_* expansion).
+  const bool reacquired = mu.TryLock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.Unlock();
+}
+
+// CROWD_GUARDED_BY applies to data members, so the contended fixture
+// is a struct rather than locals (the attribute is not valid on local
+// variables in all supported Clang versions).
+struct GuardedCounter {
+  util::Mutex mu;
+  int value CROWD_GUARDED_BY(mu) = 0;
+};
+
+TEST(MutexTest, GuardedCounterIsRaceFreeUnderContention) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        util::MutexLock lock(counter.mu);
+        ++counter.value;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  util::MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, kThreads * kIncrements);
+}
+
+TEST(MutexTest, WaitWithPredicateObservesNotify) {
+  util::Mutex mu;
+  std::condition_variable cv;
+  bool ready = false;    // protected by mu by convention; unannotated
+  int observed = 0;      // so the predicate lambda needs no attributes
+
+  std::thread waiter([&] {
+    util::MutexLock lock(mu);
+    lock.Wait(cv, [&] { return ready; });
+    observed = 42;
+  });
+  {
+    util::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(MutexTest, PlainWaitLoopObservesNotify) {
+  util::Mutex mu;
+  std::condition_variable cv;
+  int stage = 0;
+
+  std::thread waiter([&] {
+    util::MutexLock lock(mu);
+    while (stage == 0) lock.Wait(cv);
+    stage = 2;
+  });
+  {
+    util::MutexLock lock(mu);
+    stage = 1;
+  }
+  cv.notify_all();
+  waiter.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(stage, 2);
+}
+
+}  // namespace
+}  // namespace crowd
