@@ -1,0 +1,107 @@
+# Composable sanitizer presets, replacing the ad-hoc per-CI-job flag
+# strings. Usage:
+#
+#   cmake -B build -S . -DCROWDEVAL_SANITIZE=address,undefined
+#   cmake -B build -S . -DCROWDEVAL_SANITIZE=thread
+#   cmake -B build -S . -DCROWDEVAL_SANITIZE=memory            # Clang only
+#   cmake -B build -S . -DCROWDEVAL_SANITIZE=fuzzer,address,undefined
+#
+# Accepted elements (comma- or semicolon-separated):
+#
+#   address    AddressSanitizer (heap/stack/global OOB, UAF, leaks)
+#   thread     ThreadSanitizer (data races)
+#   memory     MemorySanitizer with origin tracking (uninitialized
+#              reads); Clang only, and the standard library should be
+#              MSan-instrumented too or anything it initializes reports
+#              false positives (see .github/workflows/ci.yml `msan`)
+#   undefined  UBSan with -fno-sanitize-recover=all (first report fails)
+#   fuzzer     libFuzzer coverage instrumentation for the whole tree
+#              (-fsanitize=fuzzer-no-link); the harnesses under fuzz/
+#              additionally link the engine. Clang only.
+#
+# Invalid elements and incompatible combinations (address/thread/memory
+# are mutually exclusive) are configure-time errors, so a CI job can
+# never silently run un-sanitized.
+
+set(CROWDEVAL_SANITIZE "" CACHE STRING
+    "Sanitizer preset list: address;thread;memory;undefined;fuzzer")
+
+set(CROWDEVAL_FUZZER_ENGINE OFF)
+
+string(REPLACE "," ";" _crowd_sanitize "${CROWDEVAL_SANITIZE}")
+if(_crowd_sanitize)
+  set(_known address thread memory undefined fuzzer)
+  foreach(_s IN LISTS _crowd_sanitize)
+    if(NOT _s IN_LIST _known)
+      message(FATAL_ERROR
+        "CROWDEVAL_SANITIZE: unknown sanitizer '${_s}' "
+        "(expected a subset of: ${_known})")
+    endif()
+  endforeach()
+
+  set(_exclusive "")
+  foreach(_s address thread memory)
+    if(_s IN_LIST _crowd_sanitize)
+      list(APPEND _exclusive ${_s})
+    endif()
+  endforeach()
+  list(LENGTH _exclusive _n_exclusive)
+  if(_n_exclusive GREATER 1)
+    message(FATAL_ERROR
+      "CROWDEVAL_SANITIZE: ${_exclusive} are mutually exclusive")
+  endif()
+
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    foreach(_s memory fuzzer)
+      if(_s IN_LIST _crowd_sanitize)
+        message(FATAL_ERROR
+          "CROWDEVAL_SANITIZE=${_s} requires Clang "
+          "(current compiler: ${CMAKE_CXX_COMPILER_ID})")
+      endif()
+    endforeach()
+  endif()
+  if("fuzzer" IN_LIST _crowd_sanitize AND "thread" IN_LIST _crowd_sanitize)
+    message(FATAL_ERROR
+      "CROWDEVAL_SANITIZE: libFuzzer does not compose with "
+      "ThreadSanitizer; use fuzzer with address/memory/undefined")
+  endif()
+
+  set(_compile_flags -g -fno-omit-frame-pointer)
+  set(_link_flags "")
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # Sanitizer instrumentation changes GCC's inlining enough to trip
+    # spurious -Wmaybe-uninitialized deep in libstdc++ (<variant>,
+    # shared_ptr), which -Werror then fatalizes (GCC PR 105562 family).
+    list(APPEND _compile_flags -Wno-maybe-uninitialized)
+  endif()
+  if("address" IN_LIST _crowd_sanitize)
+    list(APPEND _compile_flags -fsanitize=address)
+    list(APPEND _link_flags -fsanitize=address)
+  endif()
+  if("thread" IN_LIST _crowd_sanitize)
+    list(APPEND _compile_flags -fsanitize=thread)
+    list(APPEND _link_flags -fsanitize=thread)
+  endif()
+  if("memory" IN_LIST _crowd_sanitize)
+    list(APPEND _compile_flags
+      -fsanitize=memory -fsanitize-memory-track-origins=2)
+    list(APPEND _link_flags -fsanitize=memory)
+  endif()
+  if("undefined" IN_LIST _crowd_sanitize)
+    list(APPEND _compile_flags
+      -fsanitize=undefined -fno-sanitize-recover=all)
+    list(APPEND _link_flags -fsanitize=undefined)
+  endif()
+  if("fuzzer" IN_LIST _crowd_sanitize)
+    # Coverage instrumentation everywhere; only the fuzz/ harnesses
+    # link the libFuzzer driver (they would otherwise all gain a
+    # main() and every test binary would become a fuzzer).
+    list(APPEND _compile_flags -fsanitize=fuzzer-no-link)
+    set(CROWDEVAL_FUZZER_ENGINE ON)
+  endif()
+
+  add_compile_options(${_compile_flags})
+  add_link_options(${_link_flags})
+  message(STATUS
+    "crowdeval: sanitizers enabled: ${_crowd_sanitize}")
+endif()

@@ -1,0 +1,60 @@
+// Fuzz harness for the CSV response loader (util/csv.{h,cc}).
+//
+// Contract under arbitrary bytes:
+//  - ParseCsv returns a Result: a rectangular table or a non-OK
+//    Status. Never a crash or OOB access, including on unterminated
+//    quotes, NUL bytes, and lone '\r'.
+//  - On success every row has exactly as many fields as the header.
+//  - Write -> parse is the identity for tables whose serialized form
+//    has no line the parser normalizes away (a line that trims to
+//    empty or to a leading '#' is a comment/blank on re-parse, the
+//    one intentional asymmetry of the format).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace {
+
+bool RoundTripsVerbatim(const std::string& serialized) {
+  size_t start = 0;
+  while (start < serialized.size()) {
+    size_t end = serialized.find('\n', start);
+    if (end == std::string::npos) end = serialized.size();
+    std::string_view line(serialized.data() + start, end - start);
+    std::string_view trimmed = crowd::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') return false;
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(crowd::fuzz::AsText(data, size));
+
+  auto table = crowd::ParseCsv(text);
+  if (!table.ok()) {
+    FUZZ_ASSERT(!table.status().ok());
+    return 0;
+  }
+
+  FUZZ_ASSERT(!table->header.empty());
+  for (const auto& row : table->rows) {
+    FUZZ_ASSERT(row.size() == table->header.size());
+  }
+
+  const std::string serialized = crowd::WriteCsv(*table);
+  if (!RoundTripsVerbatim(serialized)) return 0;
+
+  auto again = crowd::ParseCsv(serialized);
+  FUZZ_ASSERT(again.ok());
+  FUZZ_ASSERT(again->header == table->header);
+  FUZZ_ASSERT(again->rows == table->rows);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fuzz harness for snapshot image decoding (server/snapshot.{h,cc}).
+//
+// Contract under arbitrary bytes:
+//  - DecodeSnapshot returns a Result: validated SnapshotData or a
+//    non-OK Status. Declared dimensions and payload lengths are
+//    checked against the bytes present before any allocation, so no
+//    input can cause an over-read or an attacker-chosen allocation
+//    (the pre-hardening decoder multiplied two u32 dimensions into a
+//    wrapping u64 — see fuzz/corpus/fuzz_snapshot/overflow-dims).
+//  - On success every cell is the missing sentinel or in [0, arity),
+//    so ToMatrix must succeed.
+//  - Round-trip identity: re-encoding the reconstructed matrix under
+//    the same applied_seq reproduces the input bit-for-bit.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "server/snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  auto decoded = crowd::server::DecodeSnapshot(data, size, "fuzz");
+  if (!decoded.ok()) {
+    FUZZ_ASSERT(!decoded.status().ok());
+    return 0;
+  }
+
+  FUZZ_ASSERT(decoded->cells.size() ==
+              static_cast<size_t>(decoded->num_workers) *
+                  decoded->num_tasks);
+  auto matrix = decoded->ToMatrix();
+  FUZZ_ASSERT(matrix.ok());
+  FUZZ_ASSERT(matrix->num_workers() == decoded->num_workers);
+  FUZZ_ASSERT(matrix->num_tasks() == decoded->num_tasks);
+
+  std::vector<uint8_t> encoded =
+      crowd::server::EncodeSnapshot(*matrix, decoded->applied_seq);
+  FUZZ_ASSERT(encoded.size() == size);
+  FUZZ_ASSERT(size == 0 || std::memcmp(encoded.data(), data, size) == 0);
+  return 0;
+}

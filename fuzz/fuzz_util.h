@@ -1,0 +1,38 @@
+// Shared helpers for the libFuzzer harnesses under fuzz/.
+//
+// Harnesses run both under the libFuzzer engine (Clang,
+// CROWDEVAL_SANITIZE containing `fuzzer`) and as plain binaries that
+// replay corpus files (fuzz/replay_main.cc, any compiler), so they
+// cannot depend on gtest. Contract violations abort via
+// __builtin_trap(), which every sanitizer and libFuzzer report with a
+// stack trace, after printing the failed expression so the plain
+// replay build is debuggable too.
+
+#ifndef CROWD_FUZZ_FUZZ_UTIL_H_
+#define CROWD_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+
+#define FUZZ_ASSERT(cond)                                            \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",      \
+                   __FILE__, __LINE__, #cond);                       \
+      __builtin_trap();                                              \
+    }                                                                \
+  } while (false)
+
+namespace crowd::fuzz {
+
+/// The input bytes as text, for parsers with string interfaces.
+/// libFuzzer may pass (nullptr, 0); keep that clean of UB.
+inline std::string_view AsText(const uint8_t* data, size_t size) {
+  if (size == 0) return {};
+  return std::string_view(reinterpret_cast<const char*>(data), size);
+}
+
+}  // namespace crowd::fuzz
+
+#endif  // CROWD_FUZZ_FUZZ_UTIL_H_

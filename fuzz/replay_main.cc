@@ -1,0 +1,71 @@
+// Standalone driver for the fuzz harnesses in builds without the
+// libFuzzer engine (any compiler, no -fsanitize=fuzzer): replays every
+// file and directory named on the command line through
+// LLVMFuzzerTestOneInput. This is what the `fuzz_regression_*` ctest
+// entries run, so the checked-in corpora execute on gcc-only machines
+// on every test run, not just in the Clang fuzzing CI job.
+//
+// libFuzzer flags (arguments starting with '-', e.g. the `-runs=0`
+// the ctest command line passes for the real engine) are ignored, so
+// the same test command works in both build modes.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  out->assign(std::istreambuf_iterator<char>(file),
+              std::istreambuf_iterator<char>());
+  return !file.bad();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.empty() && arg.front() == '-') continue;  // engine flag
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) {
+          inputs.push_back(entry.path().string());
+        }
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  // Deterministic replay order regardless of directory enumeration.
+  std::sort(inputs.begin(), inputs.end());
+
+  size_t replayed = 0;
+  for (const std::string& path : inputs) {
+    std::vector<uint8_t> bytes;
+    if (!ReadBytes(path, &bytes)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %zu input(s)\n", replayed);
+  if (replayed == 0) {
+    std::fprintf(stderr, "replay: no corpus inputs given\n");
+    return 1;
+  }
+  return 0;
+}

@@ -25,6 +25,14 @@ to live here, in CI, instead of in the type system:
                  outside src/rng/. Reproducibility of every paper
                  figure depends on all randomness flowing through the
                  seeded crowd::rng interfaces.
+  raw-byte-read  No raw memcpy / reinterpret_cast in src/server/ or
+                 src/util/csv.cc outside server/binary_io.{h,cc}.
+                 Those layers decode untrusted bytes (protocol lines,
+                 journal records, snapshots, CSV); every read must go
+                 through the bounds-checked ByteReader / GetU* API so
+                 a truncated or hostile input becomes a Status, not an
+                 out-of-bounds access. The fuzz harnesses (fuzz/)
+                 enforce the same contract dynamically.
   span-name      Every CROWD_SPAN("...") literal matches the
                  documented `stage.substage` scheme ([a-z0-9_]+ '.'
                  [a-z0-9_]+) so trace dumps group consistently.
@@ -162,6 +170,28 @@ def rule_rng(path, raw_lines, code_lines):
         "or figure reproduction stops being deterministic")
 
 
+RAW_BYTE_READ = re.compile(r"\b(?:std::)?memcpy\s*\(|\breinterpret_cast\b")
+
+# The byte-parsing layers: everything under src/server/ plus the CSV
+# loader. binary_io.{h,cc} is the one place allowed to touch raw
+# memory — it implements the bounds-checked reader the rule funnels
+# everyone else through.
+RAW_BYTE_READ_EXEMPT = ("src/server/binary_io.h", "src/server/binary_io.cc")
+
+
+def rule_raw_byte_read(path, raw_lines, code_lines):
+    if path in RAW_BYTE_READ_EXEMPT:
+        return
+    if not (path.startswith("src/server/") or path == "src/util/csv.cc"):
+        return
+    yield from match_lines(
+        path, raw_lines, code_lines, RAW_BYTE_READ, "raw-byte-read",
+        lambda m: f"{m.group(0).strip().rstrip('(').strip()} in a "
+        "byte-parsing layer; decode untrusted input through the "
+        "bounds-checked ByteReader / GetU* API (server/binary_io.h) so "
+        "truncation surfaces as a Status instead of an OOB read")
+
+
 SPAN = re.compile(r'CROWD_SPAN\(\s*"([^"]*)"')
 SPAN_NAME = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
 
@@ -190,6 +220,7 @@ RULES = [
     rule_iostream,
     rule_raw_mutex,
     rule_rng,
+    rule_raw_byte_read,
     rule_span_name,
 ]
 

@@ -58,6 +58,49 @@ uint64_t GetU64(const uint8_t* p) {
          (static_cast<uint64_t>(GetU32(p + 4)) << 32);
 }
 
+Status ByteReader::NeedBytes(size_t size) const {
+  if (size > remaining()) {
+    return Status::IoError(StrFormat(
+        "truncated input: need %zu byte(s) at offset %zu, have %zu",
+        size, offset_, remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  CROWD_RETURN_NOT_OK(NeedBytes(4));
+  uint32_t v = GetU32(data_ + offset_);
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  CROWD_RETURN_NOT_OK(NeedBytes(8));
+  uint64_t v = GetU64(data_ + offset_);
+  offset_ += 8;
+  return v;
+}
+
+Status ByteReader::ReadBytes(void* out, size_t size) {
+  CROWD_RETURN_NOT_OK(NeedBytes(size));
+  if (size > 0) std::memcpy(out, data_ + offset_, size);
+  offset_ += size;
+  return Status::OK();
+}
+
+Result<const uint8_t*> ByteReader::ReadSpan(size_t size) {
+  CROWD_RETURN_NOT_OK(NeedBytes(size));
+  const uint8_t* p = data_ + offset_;
+  offset_ += size;
+  return p;
+}
+
+Status ByteReader::Skip(size_t size) {
+  CROWD_RETURN_NOT_OK(NeedBytes(size));
+  offset_ += size;
+  return Status::OK();
+}
+
 File::~File() { Close(); }
 
 File::File(File&& other) noexcept

@@ -33,6 +33,49 @@ void PutU64(std::vector<uint8_t>* out, uint64_t v);
 uint32_t GetU32(const uint8_t* p);
 uint64_t GetU64(const uint8_t* p);
 
+/// \brief Bounds-checked sequential reader over a byte span.
+///
+/// Every parser that consumes untrusted bytes (snapshot load, journal
+/// replay) must go through this cursor instead of raw pointer
+/// arithmetic: each read validates the declared size against the
+/// bytes actually remaining and fails with a Status instead of
+/// over-reading. A failed read leaves the cursor where it was. The
+/// reader does not own the bytes; the span must outlive it.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - offset_; }
+  /// Bytes consumed so far.
+  size_t offset() const { return offset_; }
+
+  /// Little-endian fixed-width reads.
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+
+  /// Copies exactly `size` bytes into `out`, or fails without
+  /// consuming anything when fewer remain.
+  Status ReadBytes(void* out, size_t size);
+
+  /// A borrowed view of the next `size` bytes (valid while the
+  /// underlying span lives), or IoError when fewer remain.
+  Result<const uint8_t*> ReadSpan(size_t size);
+
+  /// Advances past `size` bytes, or fails when fewer remain.
+  Status Skip(size_t size);
+
+ private:
+  Status NeedBytes(size_t size) const;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t offset_ = 0;
+};
+
 /// \brief RAII file descriptor with Status-returning I/O helpers.
 class File {
  public:

@@ -14,7 +14,9 @@ namespace {
 constexpr uint32_t kMagic = 0x4A575243u;  // "CRWJ" little-endian
 constexpr uint32_t kVersion = 1;
 
-std::vector<uint8_t> EncodeHeader(const JournalHeader& header) {
+}  // namespace
+
+std::vector<uint8_t> EncodeJournalHeader(const JournalHeader& header) {
   std::vector<uint8_t> bytes;
   bytes.reserve(Journal::kHeaderBytes);
   PutU32(&bytes, kMagic);
@@ -27,7 +29,7 @@ std::vector<uint8_t> EncodeHeader(const JournalHeader& header) {
   return bytes;
 }
 
-std::vector<uint8_t> EncodeRecord(const JournalRecord& record) {
+std::vector<uint8_t> EncodeJournalRecord(const JournalRecord& record) {
   std::vector<uint8_t> payload;
   payload.reserve(Journal::kRecordBytes - 4);
   PutU64(&payload, record.seq);
@@ -41,12 +43,57 @@ std::vector<uint8_t> EncodeRecord(const JournalRecord& record) {
   return bytes;
 }
 
-}  // namespace
+Result<JournalReplay> ReplayJournalBytes(const uint8_t* data, size_t size,
+                                         const std::string& context) {
+  ByteReader reader(data, size);
+  JournalReplay out;
+  auto corrupt_header = [&context] {
+    return Status::IoError("journal " + context +
+                           ": missing or corrupt header");
+  };
+  if (size < Journal::kHeaderBytes) return corrupt_header();
+  CROWD_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) return corrupt_header();
+  CROWD_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::IoError(StrFormat("journal %s: unsupported version %u",
+                                     context.c_str(), version));
+  }
+  CROWD_ASSIGN_OR_RETURN(out.header.num_workers, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(out.header.num_tasks, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(out.header.arity, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(uint32_t reserved, reader.ReadU32());
+  if (reserved != 0) return corrupt_header();  // zero in version 1
+  CROWD_ASSIGN_OR_RETURN(out.header.base_seq, reader.ReadU64());
+
+  // Replay: each record must decode, checksum, and carry the next
+  // expected seq. The first violation is treated as a torn tail and
+  // everything from that offset on is discarded.
+  uint64_t last_seq = out.header.base_seq;
+  while (reader.remaining() >= Journal::kRecordBytes) {
+    auto rec = reader.ReadSpan(Journal::kRecordBytes);
+    if (!rec.ok()) break;  // unreachable given the length guard
+    if (GetU32(*rec) != Crc32(*rec + 4, Journal::kRecordBytes - 4)) break;
+    JournalRecord record;
+    record.seq = GetU64(*rec + 4);
+    record.worker = GetU32(*rec + 12);
+    record.task = GetU32(*rec + 16);
+    record.value = static_cast<data::Response>(GetU32(*rec + 20));
+    if (record.seq != last_seq + 1) break;
+    out.records.push_back(record);
+    last_seq = record.seq;
+  }
+  // The reader's cursor overshoots by one rejected record when the
+  // loop breaks mid-file, so compute the valid prefix from the count.
+  out.valid_bytes = Journal::kHeaderBytes +
+                    out.records.size() * Journal::kRecordBytes;
+  return out;
+}
 
 Result<Journal> Journal::Create(const std::string& path,
                                 const JournalHeader& header) {
   CROWD_ASSIGN_OR_RETURN(File file, File::Create(path));
-  std::vector<uint8_t> bytes = EncodeHeader(header);
+  std::vector<uint8_t> bytes = EncodeJournalHeader(header);
   CROWD_RETURN_NOT_OK(file.WriteAll(bytes.data(), bytes.size()));
   CROWD_RETURN_NOT_OK(file.Sync());
   CROWD_RETURN_NOT_OK(SyncDirectoryOf(path));
@@ -56,49 +103,21 @@ Result<Journal> Journal::Create(const std::string& path,
 Result<JournalRecovered> Journal::Open(const std::string& path) {
   CROWD_ASSIGN_OR_RETURN(File file, File::OpenAppend(path));
   CROWD_ASSIGN_OR_RETURN(uint64_t size, file.Size());
-  uint8_t head[kHeaderBytes];
-  CROWD_ASSIGN_OR_RETURN(size_t head_read,
-                         file.ReadAt(0, head, kHeaderBytes));
-  if (head_read < kHeaderBytes || GetU32(head) != kMagic) {
-    return Status::IoError("journal " + path +
-                           ": missing or corrupt header");
-  }
-  if (GetU32(head + 4) != kVersion) {
-    return Status::IoError(StrFormat("journal %s: unsupported version %u",
-                                     path.c_str(), GetU32(head + 4)));
-  }
-  JournalHeader header;
-  header.num_workers = GetU32(head + 8);
-  header.num_tasks = GetU32(head + 12);
-  header.arity = GetU32(head + 16);
-  header.base_seq = GetU64(head + 24);
-
-  // Replay: each record must decode, checksum, and carry the next
-  // expected seq. The first violation is treated as a torn tail and
-  // everything from that offset on is discarded.
-  JournalRecovered out{Journal(std::move(file), header, header.base_seq,
-                        kHeaderBytes),
-                header,
-                {},
-                0};
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  CROWD_ASSIGN_OR_RETURN(size_t read,
+                         file.ReadAt(0, bytes.data(), bytes.size()));
+  bytes.resize(read);
+  CROWD_ASSIGN_OR_RETURN(JournalReplay replay,
+                         ReplayJournalBytes(bytes.data(), bytes.size(),
+                                            path));
+  JournalRecovered out{Journal(std::move(file), replay.header,
+                               replay.header.base_seq, kHeaderBytes),
+                       replay.header,
+                       std::move(replay.records),
+                       0};
   Journal& journal = out.journal;
-  uint64_t offset = kHeaderBytes;
-  uint8_t rec[kRecordBytes];
-  while (offset + kRecordBytes <= size) {
-    CROWD_ASSIGN_OR_RETURN(size_t n,
-                           journal.file_.ReadAt(offset, rec, kRecordBytes));
-    if (n < kRecordBytes) break;
-    if (GetU32(rec) != Crc32(rec + 4, kRecordBytes - 4)) break;
-    JournalRecord record;
-    record.seq = GetU64(rec + 4);
-    record.worker = GetU32(rec + 12);
-    record.task = GetU32(rec + 16);
-    record.value = static_cast<data::Response>(GetU32(rec + 20));
-    if (record.seq != journal.last_seq_ + 1) break;
-    out.records.push_back(record);
-    journal.last_seq_ = record.seq;
-    offset += kRecordBytes;
-  }
+  journal.last_seq_ = replay.header.base_seq + out.records.size();
+  uint64_t offset = replay.valid_bytes;
   if (offset < size) {
     out.truncated_bytes = size - offset;
     CROWD_RETURN_NOT_OK(journal.file_.Truncate(offset));
@@ -127,7 +146,7 @@ Status Journal::Append(const JournalRecord& record) {
         static_cast<unsigned long long>(next_seq())));
   }
   CROWD_SPAN("journal.append");
-  std::vector<uint8_t> bytes = EncodeRecord(record);
+  std::vector<uint8_t> bytes = EncodeJournalRecord(record);
   CROWD_RETURN_NOT_OK(file_.WriteAll(bytes.data(), bytes.size()));
   last_seq_ = record.seq;
   file_bytes_ += bytes.size();

@@ -57,6 +57,31 @@ struct JournalRecord {
 
 struct JournalRecovered;
 
+/// Serialized header / record images exactly as written to disk.
+/// Shared by Journal::Create/Append, the recovery replay, and the
+/// fuzz harnesses' round-trip checks.
+std::vector<uint8_t> EncodeJournalHeader(const JournalHeader& header);
+std::vector<uint8_t> EncodeJournalRecord(const JournalRecord& record);
+
+/// \brief Outcome of replaying one journal image from memory.
+struct JournalReplay {
+  JournalHeader header;
+  /// Valid records in append order, seq strictly ascending from
+  /// header.base_seq + 1.
+  std::vector<JournalRecord> records;
+  /// Bytes covered by the header plus every valid record; anything
+  /// past this offset is a torn or corrupt tail.
+  uint64_t valid_bytes = 0;
+};
+
+/// \brief Parses a journal image: validated header, then records until
+/// the first length/CRC/seq violation (the torn tail). A pure function
+/// of the bytes — no filesystem access — so recovery logic is
+/// fuzzable and testable in memory. `context` names the byte source
+/// in error messages.
+Result<JournalReplay> ReplayJournalBytes(const uint8_t* data, size_t size,
+                                         const std::string& context);
+
 /// \brief Append-only journal file handle.
 class Journal {
  public:

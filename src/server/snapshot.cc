@@ -25,6 +25,13 @@ constexpr const char* kSuffix = ".crws";
 }  // namespace
 
 Result<data::ResponseMatrix> SnapshotData::ToMatrix() const {
+  // Validate before constructing: ResponseMatrix CHECK-fails on an
+  // arity outside [2, 32767], and a SnapshotData built by hand (or a
+  // future decoder bug) must surface as a Status, not an abort.
+  if (arity < 2 || arity > 32767) {
+    return Status::Invalid(
+        StrFormat("snapshot arity %u outside [2, 32767]", arity));
+  }
   data::ResponseMatrix matrix(num_workers, num_tasks,
                               static_cast<int>(arity));
   if (cells.size() !=
@@ -34,7 +41,13 @@ Result<data::ResponseMatrix> SnapshotData::ToMatrix() const {
   for (data::WorkerId w = 0; w < num_workers; ++w) {
     for (data::TaskId t = 0; t < num_tasks; ++t) {
       int16_t v = cells[w * num_tasks + t];
-      if (v < 0) continue;
+      if (v == -1) continue;  // missing sentinel
+      if (v < -1) {
+        return Status::Invalid(
+            StrFormat("snapshot cell (%zu, %zu) holds invalid value %d",
+                      static_cast<size_t>(w), static_cast<size_t>(t),
+                      static_cast<int>(v)));
+      }
       CROWD_RETURN_NOT_OK(matrix.Set(w, t, v));
     }
   }
@@ -46,11 +59,8 @@ std::string SnapshotPath(const std::string& dir, uint64_t seq) {
                    static_cast<unsigned long long>(seq), kSuffix);
 }
 
-Result<uint64_t> WriteSnapshot(const std::string& dir,
-                               const data::ResponseMatrix& responses,
-                               uint64_t applied_seq) {
-  CROWD_SPAN("snapshot.write");
-  Stopwatch watch;
+std::vector<uint8_t> EncodeSnapshot(const data::ResponseMatrix& responses,
+                                    uint64_t applied_seq) {
   const size_t nw = responses.num_workers();
   const size_t nt = responses.num_tasks();
   std::vector<uint8_t> payload;
@@ -73,12 +83,78 @@ Result<uint64_t> WriteSnapshot(const std::string& dir,
   PutU32(&bytes, static_cast<uint32_t>(nw));
   PutU32(&bytes, static_cast<uint32_t>(nt));
   PutU32(&bytes, static_cast<uint32_t>(responses.arity()));
-  PutU32(&bytes, 0);  // reserved
+  PutU32(&bytes, 0);  // reserved, zero in version 1
   PutU64(&bytes, applied_seq);
   PutU64(&bytes, payload.size());
   PutU32(&bytes, Crc32(payload.data(), payload.size()));
   bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
 
+Result<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size,
+                                    const std::string& context) {
+  auto corrupt = [&context](const char* why) {
+    return Status::IoError("snapshot " + context + ": " + why);
+  };
+  ByteReader reader(data, size);
+  if (size < kHeaderBytes) return corrupt("missing or corrupt header");
+  CROWD_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) return corrupt("missing or corrupt header");
+  CROWD_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::IoError(StrFormat("snapshot %s: unsupported version %u",
+                                     context.c_str(), version));
+  }
+  SnapshotData out;
+  CROWD_ASSIGN_OR_RETURN(out.num_workers, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(out.num_tasks, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(out.arity, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(uint32_t reserved, reader.ReadU32());
+  CROWD_ASSIGN_OR_RETURN(out.applied_seq, reader.ReadU64());
+  CROWD_ASSIGN_OR_RETURN(uint64_t payload_bytes, reader.ReadU64());
+  CROWD_ASSIGN_OR_RETURN(uint32_t crc, reader.ReadU32());
+  if (reserved != 0) return corrupt("reserved header field is not zero");
+  if (out.arity < 2 || out.arity > 32767) {
+    return corrupt("arity outside [2, 32767]");
+  }
+  // The declared payload length and the declared dimensions must both
+  // match the bytes actually present, checked without overflow: the
+  // pre-hardening form `num_workers * num_tasks * 2 == payload_bytes`
+  // wraps at 2^64 (e.g. 2^31 x 2^31 cells declare a 0-byte payload)
+  // and then resizes the cell vector to an attacker-chosen size.
+  if (payload_bytes != reader.remaining()) {
+    return corrupt("truncated payload");
+  }
+  const uint64_t cell_count = payload_bytes / 2;
+  if (payload_bytes % 2 != 0 ||
+      static_cast<uint64_t>(out.num_workers) * out.num_tasks !=
+          cell_count) {
+    return corrupt("truncated payload");
+  }
+  CROWD_ASSIGN_OR_RETURN(const uint8_t* payload,
+                         reader.ReadSpan(static_cast<size_t>(payload_bytes)));
+  if (Crc32(payload, static_cast<size_t>(payload_bytes)) != crc) {
+    return corrupt("checksum mismatch");
+  }
+  out.cells.resize(static_cast<size_t>(cell_count));
+  for (size_t i = 0; i < out.cells.size(); ++i) {
+    uint16_t u = static_cast<uint16_t>(
+        payload[2 * i] | (payload[2 * i + 1] << 8));
+    auto v = static_cast<int16_t>(u);
+    if (v < -1 || (v >= 0 && static_cast<uint32_t>(v) >= out.arity)) {
+      return corrupt("cell value outside [0, arity) and not missing");
+    }
+    out.cells[i] = v;
+  }
+  return out;
+}
+
+Result<uint64_t> WriteSnapshot(const std::string& dir,
+                               const data::ResponseMatrix& responses,
+                               uint64_t applied_seq) {
+  CROWD_SPAN("snapshot.write");
+  Stopwatch watch;
+  std::vector<uint8_t> bytes = EncodeSnapshot(responses, applied_seq);
   const std::string path = SnapshotPath(dir, applied_seq);
   const std::string tmp = path + ".tmp";
   {
@@ -109,39 +185,7 @@ Result<uint64_t> WriteSnapshot(const std::string& dir,
 
 Result<SnapshotData> LoadSnapshot(const std::string& path) {
   CROWD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
-  if (bytes.size() < kHeaderBytes || GetU32(bytes.data()) != kMagic) {
-    return Status::IoError("snapshot " + path +
-                           ": missing or corrupt header");
-  }
-  if (GetU32(bytes.data() + 4) != kVersion) {
-    return Status::IoError(
-        StrFormat("snapshot %s: unsupported version %u", path.c_str(),
-                  GetU32(bytes.data() + 4)));
-  }
-  SnapshotData data;
-  data.num_workers = GetU32(bytes.data() + 8);
-  data.num_tasks = GetU32(bytes.data() + 12);
-  data.arity = GetU32(bytes.data() + 16);
-  data.applied_seq = GetU64(bytes.data() + 24);
-  const uint64_t payload_bytes = GetU64(bytes.data() + 32);
-  const uint32_t crc = GetU32(bytes.data() + 40);
-  if (bytes.size() != kHeaderBytes + payload_bytes ||
-      payload_bytes !=
-          static_cast<uint64_t>(data.num_workers) * data.num_tasks * 2) {
-    return Status::IoError("snapshot " + path + ": truncated payload");
-  }
-  const uint8_t* payload = bytes.data() + kHeaderBytes;
-  if (Crc32(payload, static_cast<size_t>(payload_bytes)) != crc) {
-    return Status::IoError("snapshot " + path + ": checksum mismatch");
-  }
-  data.cells.resize(static_cast<size_t>(data.num_workers) *
-                    data.num_tasks);
-  for (size_t i = 0; i < data.cells.size(); ++i) {
-    uint16_t u = static_cast<uint16_t>(
-        payload[2 * i] | (payload[2 * i + 1] << 8));
-    data.cells[i] = static_cast<int16_t>(u);
-  }
-  return data;
+  return DecodeSnapshot(bytes.data(), bytes.size(), path);
 }
 
 Result<std::vector<uint64_t>> ListSnapshotSeqs(const std::string& dir) {

@@ -46,6 +46,21 @@ struct SnapshotData {
 /// Path of the snapshot covering `seq` inside `dir`.
 std::string SnapshotPath(const std::string& dir, uint64_t seq);
 
+/// \brief Serializes `responses` into the on-disk snapshot format
+/// (header + CRC + payload) without touching the filesystem.
+std::vector<uint8_t> EncodeSnapshot(const data::ResponseMatrix& responses,
+                                    uint64_t applied_seq);
+
+/// \brief Parses and validates one snapshot image from memory.
+///
+/// Every declared size (dimensions, payload length) is checked against
+/// the bytes actually present before anything is allocated or copied,
+/// so arbitrary input can at worst produce an IoError — never an
+/// over-read or an attacker-chosen allocation. `context` names the
+/// source (e.g. the file path) in error messages.
+Result<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size,
+                                    const std::string& context);
+
 /// \brief Writes a durable snapshot of `responses` covering
 /// `applied_seq` into `dir`; returns the file's byte size.
 Result<uint64_t> WriteSnapshot(const std::string& dir,

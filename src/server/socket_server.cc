@@ -59,7 +59,10 @@ Status SocketServer::Start() {
                  sizeof(addr.sun_path) - 1);
     // A stale socket file from a killed daemon would make bind fail.
     ::unlink(options_.unix_path.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+    // The sockaddr casts below are the POSIX-mandated calling
+    // convention for bind/getsockname, not byte parsing.
+    if (::bind(listen_fd_,
+               reinterpret_cast<sockaddr*>(&addr),  // crowd-lint: allow(raw-byte-read)
                sizeof(addr)) != 0) {
       return Errno("bind");
     }
@@ -75,13 +78,15 @@ Status SocketServer::Start() {
     if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
       return Status::Invalid("bad listen address: " + options_.host);
     }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+    if (::bind(listen_fd_,
+               reinterpret_cast<sockaddr*>(&addr),  // crowd-lint: allow(raw-byte-read)
                sizeof(addr)) != 0) {
       return Errno("bind");
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<sockaddr*>(&bound),  // crowd-lint: allow(raw-byte-read)
                       &len) != 0) {
       return Errno("getsockname");
     }

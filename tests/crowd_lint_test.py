@@ -119,6 +119,55 @@ class RngRule(unittest.TestCase):
             [])
 
 
+class RawByteReadRule(unittest.TestCase):
+    def test_fires_on_memcpy_and_reinterpret_cast_in_server(self):
+        for snippet in (
+                "std::memcpy(&header, bytes.data(), sizeof(header));",
+                "memcpy(out, p, n);",
+                "auto* h = reinterpret_cast<const Header*>(data);"):
+            self.assertIn(
+                "raw-byte-read",
+                rules_firing("src/server/snapshot.cc", snippet + "\n"),
+                snippet)
+
+    def test_fires_in_csv_loader(self):
+        self.assertIn(
+            "raw-byte-read",
+            rules_firing("src/util/csv.cc",
+                         "std::memcpy(buf, line.data(), line.size());\n"))
+
+    def test_binary_io_is_exempt(self):
+        text = ("std::memcpy(out, data_ + offset_, size);\n"
+                "auto* p = reinterpret_cast<const uint8_t*>(src);\n")
+        self.assertEqual(rules_firing("src/server/binary_io.cc", text), [])
+        self.assertEqual(rules_firing("src/server/binary_io.h", text), [])
+
+    def test_out_of_scope_elsewhere(self):
+        text = "std::memcpy(dst, src, n);\n"
+        self.assertEqual(rules_firing("src/core/evaluator.cc", text), [])
+        self.assertEqual(rules_firing("src/util/string_util.cc", text), [])
+        self.assertEqual(rules_firing("tests/foo_test.cc", text), [])
+
+    def test_reader_api_usage_is_clean(self):
+        text = ("server::ByteReader reader(bytes);\n"
+                "CROWD_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());\n"
+                "CROWD_RETURN_NOT_OK(reader.ReadBytes(&rec, sizeof(rec)));\n")
+        self.assertEqual(rules_firing("src/server/journal.cc", text), [])
+
+    def test_waiver_suppresses_sockaddr_cast(self):
+        text = ("::bind(fd, reinterpret_cast<sockaddr*>(&addr),  "
+                "// crowd-lint: allow(raw-byte-read)\n"
+                "       sizeof(addr));\n")
+        self.assertEqual(rules_firing("src/server/socket_server.cc", text),
+                         [])
+
+    def test_memcpy_identifier_suffix_is_not_flagged(self):
+        self.assertEqual(
+            rules_firing("src/server/journal.cc",
+                         "size_t fast_memcpy_bytes = 0;\n"),
+            [])
+
+
 class SpanNameRule(unittest.TestCase):
     def test_fires_on_nonconforming_names(self):
         for name in ("evaluate", "Core.Evaluate", "core.eval.deep",
